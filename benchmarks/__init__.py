@@ -1,0 +1,6 @@
+"""Benchmark suite: regenerates every table and figure of Section V.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each bench prints the
+regenerated table (compare against the paper's values and EXPERIMENTS.md)
+and asserts the qualitative *shape* the paper reports.
+"""

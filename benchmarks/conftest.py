@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite regenerates every table and figure of the paper's
+Section V on the ``beijing-small`` preset.  Training all model
+configurations once per session keeps the total wall time manageable; the
+``benchmark`` fixture then times the *online/evaluation* phase of each
+experiment, and each bench prints the regenerated table so the run's
+output is the reproduction artefact.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_PRESET``   — dataset preset (default ``beijing-small``)
+* ``REPRO_BENCH_DIM``      — embedding dimension (default 64)
+* ``REPRO_BENCH_SAMPLES``  — GEM sample budget (default 3,000,000)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """The shared experiment context (dataset, split, model cache)."""
+    return ExperimentContext(
+        preset=os.environ.get("REPRO_BENCH_PRESET", "beijing-small"),
+        seed=7,
+        dim=_env_int("REPRO_BENCH_DIM", 64),
+        n_samples=_env_int("REPRO_BENCH_SAMPLES", 3_000_000),
+        max_event_cases=1500,
+        max_partner_cases=_env_int("REPRO_BENCH_PARTNER_CASES", 400),
+    )
+
+
+def emit(table: str) -> None:
+    """Print a regenerated table under the benchmark output."""
+    print()
+    print(table)

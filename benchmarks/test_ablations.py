@@ -1,0 +1,117 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+Beyond the paper's own GEM-A / GEM-P / PTE grid, these isolate:
+
+* bidirectional vs unidirectional negatives *at fixed graph sampling*
+  (PTE differs from GEM-P in two ways; this separates them);
+* edge-proportional vs uniform graph selection in Algorithm 2;
+* the ReLU non-negativity projection;
+* exact vs approximate adaptive sampling (on a reduced budget — the exact
+  sampler is O(|V|·K) per draw by design).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.gem import GEM
+from repro.core.trainer import TrainerConfig
+from repro.evaluation import evaluate_event_recommendation
+
+
+def _accuracy(ctx, config, n_samples):
+    model = GEM(config, n_samples=n_samples).fit(ctx.bundle(1))
+    result = evaluate_event_recommendation(
+        model,
+        ctx.split,
+        n_values=(10,),
+        max_cases=ctx.max_event_cases,
+        seed=ctx.eval_seed,
+    )
+    return result.accuracy[10]
+
+
+@pytest.mark.parametrize(
+    "label,overrides",
+    [
+        ("bidirectional", {"bidirectional": True}),
+        ("unidirectional", {"bidirectional": False}),
+    ],
+)
+def test_ablation_bidirectional_sampling(ctx, benchmark, label, overrides):
+    """Eqn 4 vs Eqn 3 with everything else fixed (degree sampler,
+    proportional graph selection)."""
+    config = TrainerConfig(
+        dim=ctx.dim,
+        sampler="degree",
+        graph_sampling="proportional",
+        seed=ctx.seed,
+        decay_horizon=ctx.n_samples,
+        **overrides,
+    )
+    acc = benchmark.pedantic(
+        lambda: _accuracy(ctx, config, ctx.n_samples), rounds=1, iterations=1
+    )
+    emit(f"ablation bidirectional={overrides['bidirectional']}: Ac@10={acc:.3f}")
+    assert acc > 0.0
+
+
+@pytest.mark.parametrize("graph_sampling", ["proportional", "uniform"])
+def test_ablation_graph_sampling(ctx, benchmark, graph_sampling):
+    """Algorithm 2's edge-proportional graph draw vs PTE-style uniform."""
+    config = TrainerConfig(
+        dim=ctx.dim,
+        sampler="adaptive",
+        graph_sampling=graph_sampling,
+        seed=ctx.seed,
+        decay_horizon=ctx.n_samples,
+    )
+    acc = benchmark.pedantic(
+        lambda: _accuracy(ctx, config, ctx.n_samples), rounds=1, iterations=1
+    )
+    emit(f"ablation graph_sampling={graph_sampling}: Ac@10={acc:.3f}")
+    assert acc > 0.0
+
+
+@pytest.mark.parametrize("nonnegative", [True, False])
+def test_ablation_relu_projection(ctx, benchmark, nonnegative):
+    """The rectifier projection of Eqn 5 on vs off."""
+    config = TrainerConfig(
+        dim=ctx.dim,
+        sampler="adaptive",
+        nonnegative=nonnegative,
+        seed=ctx.seed,
+        decay_horizon=ctx.n_samples,
+    )
+    acc = benchmark.pedantic(
+        lambda: _accuracy(ctx, config, ctx.n_samples), rounds=1, iterations=1
+    )
+    emit(f"ablation nonnegative={nonnegative}: Ac@10={acc:.3f}")
+    assert acc > 0.0
+
+
+def test_ablation_exact_adaptive_sampler(ctx, benchmark):
+    """Exact rank-based sampling (Section III-B 'Exact Implementation') on
+    a reduced budget — validates that the fast approximation does not cost
+    accuracy per sample."""
+    budget = max(ctx.n_samples // 20, 10_000)
+    exact = TrainerConfig(
+        dim=ctx.dim,
+        sampler="adaptive-exact",
+        seed=ctx.seed,
+        decay_horizon=budget,
+    )
+    approx = TrainerConfig(
+        dim=ctx.dim,
+        sampler="adaptive",
+        seed=ctx.seed,
+        decay_horizon=budget,
+    )
+    acc_exact = benchmark.pedantic(
+        lambda: _accuracy(ctx, exact, budget), rounds=1, iterations=1
+    )
+    acc_approx = _accuracy(ctx, approx, budget)
+    emit(
+        f"ablation sampler exact={acc_exact:.3f} approx={acc_approx:.3f} "
+        f"(budget {budget:,})"
+    )
+    assert acc_exact > 0.0 and acc_approx > 0.0

@@ -1,0 +1,29 @@
+"""Fig 4 — joint event-partner recommendation, scenario 1 (friends).
+
+Paper shape: the GEM variants dominate every baseline; CFAPR-E, although
+it borrows GEM-A's event vectors, is limited because it only recommends
+historical partners and fails entirely for users without partner history.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_fig4
+
+
+def test_fig4_event_partner_scenario1(ctx, benchmark):
+    result = benchmark.pedantic(lambda: run_fig4(ctx), rounds=1, iterations=1)
+    emit(result.format_table())
+
+    acc = {m: result.accuracy[m][10] for m in result.accuracy}
+    # The GEM family dominates the joint task, and GEM-A is at worst
+    # statistically tied with GEM-P (at this data scale their final gap
+    # is within evaluation noise; the convergence tables separate them).
+    best = max(acc, key=acc.get)
+    assert best in ("GEM-A", "GEM-P"), acc
+    assert acc["GEM-A"] >= 0.85 * acc[best], acc
+    # GEM-A beats the non-GEM baselines (the paper's headline ordering).
+    for baseline in ("PTE", "CBPF", "PCMF", "CFAPR-E"):
+        assert acc["GEM-A"] > acc[baseline], (baseline, acc)
+    # Chance rate cleared by the serious models.
+    chance = 10 / 1001
+    for model in ("GEM-A", "GEM-P", "PER"):
+        assert acc[model] > 5 * chance, (model, acc[model])

@@ -1,0 +1,33 @@
+"""Fig 5 — joint event-partner recommendation, scenario 2 (potential
+friends: the test pairs' social links are removed before training).
+
+Paper shape: every model scores lower than in scenario 1 — the partner
+must now be *predicted* as a future friend, not read off the social graph
+— and the GEM variants stay on top.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_fig4, run_fig5
+
+
+def test_fig5_event_partner_scenario2(ctx, benchmark):
+    result = benchmark.pedantic(lambda: run_fig5(ctx), rounds=1, iterations=1)
+    emit(result.format_table())
+    scenario1 = run_fig4(ctx)  # models cached from the Fig 4 bench
+
+    acc2 = {m: result.accuracy[m][10] for m in result.accuracy}
+    acc1 = {m: scenario1.accuracy[m][10] for m in scenario1.accuracy}
+
+    # The GEM family stays on top in the harder scenario, with GEM-A at
+    # worst statistically tied with the leader (see Fig 4 bench notes).
+    best = max(acc2, key=acc2.get)
+    assert best in ("GEM-A", "GEM-P", "CFAPR-E"), acc2
+    assert acc2["GEM-A"] >= 0.8 * acc2[best], acc2
+    assert acc2["GEM-A"] > acc2["PTE"], acc2
+    assert acc2["GEM-A"] > acc2["PCMF"], acc2
+
+    # "The recommendation accuracies of all models are lower in Figure 5
+    # than in Figure 4": check for the embedding models, which actually
+    # consume the social graph (small slack for evaluation noise).
+    for model in ("GEM-A", "GEM-P"):
+        assert acc2[model] <= acc1[model] + 0.05, (model, acc1[model], acc2[model])

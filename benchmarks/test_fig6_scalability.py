@@ -1,0 +1,37 @@
+"""Fig 6 — scalability of asynchronous (Hogwild) training.
+
+Paper shape: (a) speedup "quite close to linear" in the number of
+threads; (b) accuracy "remains stable" as workers are added.  This bench
+runs the shared-memory multiprocess Hogwild trainer; CI machines with few
+cores will show sub-linear but still monotone scaling, which is what the
+assertions require.
+"""
+
+import os
+
+from benchmarks.conftest import emit
+from repro.experiments import run_fig6
+
+
+def test_fig6_hogwild_scalability(ctx, benchmark):
+    cores = os.cpu_count() or 1
+    workers = tuple(w for w in (1, 2, 4, 8) if w <= max(cores, 2))
+    result = benchmark.pedantic(
+        lambda: run_fig6(ctx, worker_counts=workers, n_steps=ctx.n_samples),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.format_table())
+
+    if len(result.worker_counts) < 2 or cores < 2:
+        return  # single-core environment: nothing to assert about scaling
+
+    # (a) More workers never slow the same workload down materially, and
+    # the largest worker count achieves a real speedup.
+    w_max = result.worker_counts[-1]
+    assert result.wall_seconds[w_max] < result.wall_seconds[1] * 1.1
+    assert result.speedup[w_max] > 1.3, result.speedup
+
+    # (b) Accuracy stays stable across worker counts.
+    accs = list(result.accuracy_at_10.values())
+    assert max(accs) - min(accs) < 0.5 * max(max(accs), 1e-9), accs

@@ -1,0 +1,63 @@
+"""Response-time comparison: HeteRS walks vs GEM's offline index.
+
+Reproduces the paper's Section VI-A argument for excluding HeteRS from
+its comparison: a multivariate-Markov-chain recommender "cannot separate
+the model training process from the online recommendation", so every
+query pays graph-sized power-iteration cost, while latent-factor models
+answer from a precomputed index.  (On the paper's hardware HeteRS took
+"hundreds of and even thousands of seconds"; at our scale the gap shows
+up as orders of magnitude per query.)
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.baselines.heters import HeteRS
+from repro.ebsn.graphs import EntityType
+from repro.online import EventPartnerRecommender
+
+
+def test_heters_query_latency_vs_gem_ta(ctx, benchmark):
+    bundle = ctx.bundle(1)
+    model = ctx.model("GEM-A")
+    candidate_events = np.array(sorted(ctx.split.test_events), dtype=np.int64)
+
+    heters = HeteRS().fit(bundle)
+    ta = EventPartnerRecommender(
+        model.user_vectors,
+        model.event_vectors,
+        candidate_events,
+        top_k_events=max(5, candidate_events.size // 10),
+        method="ta",
+    )
+
+    rng = np.random.default_rng(ctx.eval_seed)
+    users = rng.choice(ctx.ebsn.n_users, size=5, replace=False)
+
+    def heters_queries():
+        # One walk per user; a full joint recommendation would need one
+        # more walk per candidate partner on top of this.
+        for u in users:
+            mass = heters.walk_from(EntityType.USER, int(u))
+        return mass
+
+    t0 = time.perf_counter()
+    benchmark.pedantic(heters_queries, rounds=1, iterations=1)
+    heters_s = (time.perf_counter() - t0) / users.size
+
+    t0 = time.perf_counter()
+    for u in users:
+        ta.query(int(u), 10)
+    ta_s = (time.perf_counter() - t0) / users.size
+
+    emit(
+        f"HeteRS single walk: {heters_s * 1000:.1f} ms/query vs "
+        f"GEM-TA top-10: {ta_s * 1000:.1f} ms/query "
+        f"(x{heters_s / max(ta_s, 1e-9):.0f}; a full joint HeteRS "
+        f"recommendation needs many walks per query)"
+    )
+    # The structural claim: the walk-at-query-time model is far slower
+    # than the offline-indexed model, already for a single walk.
+    assert heters_s > ta_s

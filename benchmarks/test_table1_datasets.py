@@ -1,0 +1,33 @@
+"""Table I — dataset statistics for both city presets.
+
+Paper values (Douban crawl): Beijing 64,113 users / 12,955 events / 3,212
+venues / 1,114,097 attendances / 865,298 links; Shanghai 36,440 / 6,753 /
+1,990 / 482,138 / 298,105.  The synthetic presets preserve the ratios at
+reduced scale (``*-small``) and the absolute counts at full scale.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table1
+
+
+def test_table1_dataset_statistics(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table1(presets=("beijing-small", "shanghai-small"), seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.format_table())
+
+    stats = {preset: dict() for preset in result.columns}
+    for label, values in result.rows:
+        for preset, value in zip(result.columns, values):
+            stats[preset][label] = value
+
+    bj = stats["beijing-small"]
+    sh = stats["shanghai-small"]
+    # Table I shape: Beijing larger than Shanghai on every count, with a
+    # users ratio near the paper's 64,113/36,440 ≈ 1.76.
+    for label in bj:
+        assert bj[label] > sh[label]
+    ratio = bj["# of users"] / sh["# of users"]
+    assert 1.4 < ratio < 2.2

@@ -1,0 +1,27 @@
+"""Table IV — impact of the embedding dimension K.
+
+Paper shape: accuracy rises quickly with K and then plateaus (their knee
+is K ≈ 60 of {20..100}); too-small K underfits, larger K stops helping.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table4
+
+
+def test_table4_dimension_sweep(ctx, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table4(ctx, dimensions=(8, 16, 32, 64, 96)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.format_table())
+
+    for model in ("GEM-A",):
+        acc = result.event_acc[model]
+        dims = sorted(acc)
+        smallest, largest = acc[dims[0]], acc[dims[-1]]
+        best = max(acc.values())
+        # Rise: the best K clearly beats the smallest K.
+        assert best > 1.15 * smallest, acc
+        # Plateau: the largest K is within noise of the best.
+        assert largest > 0.75 * best, acc

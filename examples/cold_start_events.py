@@ -1,0 +1,56 @@
+"""Cold-start event recommendation: GEM versus a matrix-factorisation
+baseline on never-before-seen events.
+
+Events published on an EBSN are "always in the future" — at
+recommendation time they have no attendance history, so classic
+collaborative filtering has nothing to work with.  GEM learns their
+vectors from the content/location/time graphs instead (Section II); this
+example measures how much that buys over PCMF, which shares the entity
+vectors across relations but treats edges as binary with uniform
+negatives.
+
+Run:  python examples/cold_start_events.py
+"""
+
+from repro.baselines import PCMF
+from repro.baselines.pcmf import PCMFConfig
+from repro.core import GEM
+from repro.data import chronological_split, make_dataset
+from repro.evaluation import evaluate_event_recommendation
+
+
+def main() -> None:
+    ebsn, _ = make_dataset("beijing-small", seed=7)
+    split = chronological_split(ebsn)
+    bundle = split.training_bundle()
+    print(
+        f"{len(split.test_events)} cold-start events; "
+        f"{len(split.test_edges)} held-out attendance records"
+    )
+
+    print("training GEM-A ...")
+    gem = GEM.gem_a(dim=32, n_samples=1_500_000, seed=7).fit(bundle)
+    print("training PCMF ...")
+    pcmf = PCMF(PCMFConfig(dim=32, n_samples=400_000, seed=7)).fit(bundle)
+
+    print("\nAccuracy@n on the paper's sampled-negative protocol "
+          "(1000 negatives per case):")
+    header = f"{'model':<8}" + "".join(f"Ac@{n:<7}" for n in (1, 5, 10, 15, 20))
+    print(header)
+    print("-" * len(header))
+    for name, model in (("GEM-A", gem), ("PCMF", pcmf)):
+        result = evaluate_event_recommendation(
+            model, split, max_cases=800, model_name=name, seed=3
+        )
+        row = "".join(f"{result.accuracy[n]:<10.3f}" for n in (1, 5, 10, 15, 20))
+        print(f"{name:<8}{row}")
+
+    print(
+        "\nGEM-A places an appealing brand-new event in the user's top-10 "
+        "substantially more often than the binary-relation baseline —\n"
+        "the paper's core cold-start claim (Fig 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

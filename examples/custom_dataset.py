@@ -1,0 +1,105 @@
+"""Using your own EBSN data (e.g. a Meetup/Douban crawl).
+
+The library consumes plain entity records — users, venues with
+coordinates, events with text/venue/start-time, attendance and
+friendships — so plugging in crawled data means constructing an
+:class:`repro.ebsn.EBSN` (or writing the JSONL layout of
+``repro.data.io`` and calling :func:`load_ebsn`).  This example builds a
+hand-written miniature network, persists it, reloads it, and trains GEM
+on it end to end.
+
+Run:  python examples/custom_dataset.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import GEM
+from repro.data import chronological_split, load_ebsn, save_ebsn
+from repro.ebsn import EBSN, Attendance, Event, Friendship, User, Venue
+
+DAY = 86_400.0
+
+
+def build_handwritten_ebsn() -> EBSN:
+    """A ten-user jazz-vs-tech town with two venues per scene."""
+    users = [User(f"u{i}", name=f"person-{i}") for i in range(10)]
+    venues = [
+        Venue("jazz-bar", 39.900, 116.400, name="Blue Note"),
+        Venue("concert-hall", 39.903, 116.403, name="City Hall"),
+        Venue("hackspace", 39.960, 116.460, name="Bit Garage"),
+        Venue("campus", 39.963, 116.463, name="Tsinghua East"),
+    ]
+    jazz_words = "jazz blues saxophone quartet improvisation live session"
+    tech_words = "python database indexing talk hands-on workshop compiler"
+    events = []
+    attendances = []
+    for day in range(12):
+        scene = "jazz" if day % 2 == 0 else "tech"
+        venue = ("jazz-bar" if day % 4 == 0 else "concert-hall") if scene == "jazz" else (
+            "hackspace" if day % 4 == 1 else "campus"
+        )
+        words = jazz_words if scene == "jazz" else tech_words
+        event = Event(
+            event_id=f"x{day:02d}",
+            venue_id=venue,
+            start_time=1_600_000_000.0 + day * 7 * DAY + 19 * 3600,
+            description=f"{words} session {day}",
+            title=f"{scene}-{day}",
+        )
+        events.append(event)
+        # Jazz fans are users 0-4, tech fans 5-9; one crossover user.
+        fans = range(0, 5) if scene == "jazz" else range(5, 10)
+        for u in fans:
+            if (u + day) % 3 != 0:  # not everyone attends everything
+                attendances.append(Attendance(f"u{u}", event.event_id))
+        attendances.append(Attendance("u4" if scene == "tech" else "u5", event.event_id))
+    friendships = [
+        Friendship(f"u{a}", f"u{b}")
+        for a, b in [(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (6, 7), (7, 8), (8, 9), (4, 5)]
+    ]
+    return EBSN(users, events, venues, attendances, friendships, name="handwritten")
+
+
+def main() -> None:
+    ebsn = build_handwritten_ebsn()
+    print("built:", dict(ebsn.statistics().as_rows()))
+
+    # Persist in the crawler-friendly JSONL layout and reload.
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = save_ebsn(ebsn, Path(tmp) / "handwritten")
+        print("saved to", directory)
+        ebsn = load_ebsn(directory)
+        print("reloaded:", ebsn.name)
+
+    split = chronological_split(ebsn)
+    bundle = split.training_bundle(
+        region_eps_km=1.0, region_min_samples=2, min_doc_freq=1, max_doc_ratio=0.9
+    )
+    model = GEM.gem_a(dim=8, n_samples=250_000, seed=1).fit(bundle)
+
+    # Cold-start sanity: the held-out events should score higher for fans
+    # of their scene than for the other camp (u4/u5 are crossover users,
+    # so the comparison groups are the pure fans 0-3 and 6-9).
+    jazz_fans = np.arange(0, 4)
+    tech_fans = np.arange(6, 10)
+    for x in sorted(split.test_events):
+        event = ebsn.events[x]
+        jazz_score = float(np.mean(model.score_user_event_aligned(
+            jazz_fans, np.full(jazz_fans.size, x)
+        )))
+        tech_score = float(np.mean(model.score_user_event_aligned(
+            tech_fans, np.full(tech_fans.size, x)
+        )))
+        leaning = "jazz" if jazz_score > tech_score else "tech"
+        print(
+            f"cold event {event.event_id} ({event.title}): "
+            f"jazz-fan score {jazz_score:.3f} vs tech-fan {tech_score:.3f} "
+            f"-> pitched to the {leaning} crowd"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Hogwild parallel training: the paper's scalability experiment (Fig 6).
+
+GEM's updates are sparse — each gradient step touches 2 + 2M embedding
+rows — so lock-free asynchronous SGD (Recht et al.) parallelises it with
+negligible conflict.  This example trains the same workload with 1, 2 and
+4 workers over shared-memory matrices and reports wall time, speedup and
+the (stable) accuracy.
+
+Run:  python examples/parallel_training.py
+"""
+
+import os
+
+from repro.core import GEM, TrainerConfig
+from repro.core.parallel import train_parallel
+from repro.data import chronological_split, make_dataset
+from repro.evaluation import evaluate_event_recommendation
+
+
+def main() -> None:
+    ebsn, _ = make_dataset("beijing-small", seed=7)
+    split = chronological_split(ebsn)
+    bundle = split.training_bundle()
+
+    n_steps = 2_000_000
+    config = TrainerConfig.gem_a(dim=32, seed=7, decay_horizon=n_steps)
+    cores = os.cpu_count() or 1
+    worker_counts = [w for w in (1, 2, 4) if w <= cores] or [1]
+    if cores == 1:
+        print(
+            "NOTE: this machine exposes a single CPU; Hogwild still works "
+            "but cannot show wall-clock speedup here.\n"
+        )
+
+    print(f"{n_steps:,} gradient steps per configuration\n")
+    print(f"{'workers':>8}{'wall(s)':>10}{'speedup':>10}{'Ac@10':>8}")
+    base = None
+    for workers in worker_counts:
+        result = train_parallel(bundle, config, n_steps, workers, seed=7)
+        model = GEM.from_embeddings(result.embeddings)
+        acc = evaluate_event_recommendation(
+            model, split, n_values=(10,), max_cases=500, seed=3
+        ).accuracy[10]
+        if base is None:
+            base = result.wall_seconds
+        print(
+            f"{result.n_workers:>8}{result.wall_seconds:>10.2f}"
+            f"{base / result.wall_seconds:>10.2f}{acc:>8.3f}"
+        )
+    print(
+        "\nLock-free races between workers do not hurt accuracy — the "
+        "paper's Fig 6(b) observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

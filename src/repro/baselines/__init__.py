@@ -1,0 +1,34 @@
+"""Comparison methods of Section V-C, reimplemented from their papers.
+
+Each baseline preserves the property the paper's analysis hinges on —
+see the module docstrings.  All expose the shared
+:class:`repro.core.interfaces.Recommender` scoring interface and extend to
+event-partner recommendation through the pairwise framework of Section IV.
+"""
+
+from repro.baselines.base import EmbeddingRecommender
+from repro.baselines.cbpf import CBPF, CBPFConfig
+from repro.baselines.cfapr import CFAPRE, CFAPRConfig
+from repro.baselines.heters import HeteRS, HeteRSConfig
+from repro.baselines.pcmf import PCMF, PCMFConfig
+from repro.baselines.per import PER, META_PATHS, PERConfig
+from repro.baselines.popularity import ContextPopularity, RandomScorer
+from repro.baselines.pte import PTE
+
+__all__ = [
+    "CBPF",
+    "CBPFConfig",
+    "CFAPRE",
+    "CFAPRConfig",
+    "ContextPopularity",
+    "RandomScorer",
+    "EmbeddingRecommender",
+    "HeteRS",
+    "HeteRSConfig",
+    "META_PATHS",
+    "PCMF",
+    "PCMFConfig",
+    "PER",
+    "PERConfig",
+    "PTE",
+]

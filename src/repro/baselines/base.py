@@ -1,0 +1,84 @@
+"""Shared plumbing for the comparison methods of Section V-C.
+
+Every baseline implements :class:`repro.core.interfaces.Recommender`; the
+paper extends them to event-partner recommendation with the same pairwise
+framework of Section IV (``s(u,x) + s(u',x) + s(u,u')``), which is the
+interface's default ``score_triples``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.interfaces import Recommender
+from repro.ebsn.graphs import (
+    EVENT_LOCATION,
+    EVENT_TIME,
+    EVENT_WORD,
+    USER_EVENT,
+    USER_USER,
+    GraphBundle,
+)
+
+
+@dataclass(slots=True)
+class RelationArrays:
+    """Dense edge arrays of one bipartite graph, convenient for SGD loops."""
+
+    left: np.ndarray
+    right: np.ndarray
+    weights: np.ndarray
+    n_left: int
+    n_right: int
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.left.shape[0])
+
+
+def relation_from_bundle(bundle: GraphBundle, name: str) -> RelationArrays:
+    """Extract a graph's edges as :class:`RelationArrays`."""
+    graph = bundle[name]
+    return RelationArrays(
+        left=graph.left.copy(),
+        right=graph.right.copy(),
+        weights=graph.weights.copy(),
+        n_left=graph.n_left,
+        n_right=graph.n_right,
+    )
+
+
+STANDARD_RELATIONS = (USER_EVENT, USER_USER, EVENT_LOCATION, EVENT_TIME, EVENT_WORD)
+
+
+class EmbeddingRecommender(Recommender):
+    """Base for latent-factor baselines holding user/event matrices."""
+
+    def __init__(self) -> None:
+        self.user_factors: np.ndarray | None = None
+        self.event_factors: np.ndarray | None = None
+
+    def _require_fitted(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.user_factors is None or self.event_factors is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit()")
+        return self.user_factors, self.event_factors
+
+    def score_user_event(self, user: int, events: np.ndarray) -> np.ndarray:
+        users_m, events_m = self._require_fitted()
+        u = users_m[user].astype(np.float64)
+        return events_m[np.asarray(events, dtype=np.int64)].astype(np.float64) @ u
+
+    def score_user_user(self, user: int, others: np.ndarray) -> np.ndarray:
+        users_m, _ = self._require_fitted()
+        u = users_m[user].astype(np.float64)
+        return users_m[np.asarray(others, dtype=np.int64)].astype(np.float64) @ u
+
+    def score_user_event_aligned(
+        self, users: np.ndarray, events: np.ndarray
+    ) -> np.ndarray:
+        users_m, events_m = self._require_fitted()
+        uu = users_m[np.asarray(users, dtype=np.int64)].astype(np.float64)
+        xx = events_m[np.asarray(events, dtype=np.int64)].astype(np.float64)
+        return np.einsum("nk,nk->n", uu, xx)

@@ -1,0 +1,186 @@
+"""CFAPR-E baseline: collaborative-filtering activity-partner recommendation,
+extended to joint event-partner recommendation.
+
+CFAPR (Tu et al., PAKDD'15, ref [22]) finds partners for a *given* user
+and activity by collaborative filtering over historical partner data:
+users who accompanied ``u`` to similar activities before are likely
+partners now.  The paper extends it to the joint task (following ref
+[23]) as CFAPR-E: combine an event-preference score ``p(x|u)`` — taken
+from GEM-A's learned vectors, as the paper states — with the CF partner
+score ``p(u'|u, x)``.
+
+The structural limitations the paper's discussion relies on are inherent
+here too, by construction:
+
+* "CFAPR limits the recommended partners to those who have been partners
+  with u in the past" — the CF partner score is zero for users who never
+  co-attended a training event with ``u``;
+* "CFAPR cannot work for users who do not have the historical data of
+  attending events with partners together" — such users get a flat zero
+  partner component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.interfaces import Recommender
+from repro.ebsn.graphs import USER_EVENT, EntityType, GraphBundle
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(slots=True)
+class CFAPRConfig:
+    """CFAPR-E hyper-parameters."""
+
+    #: Trade-off between the event-preference and partner-CF components.
+    partner_weight: float = 1.0
+    #: Keep at most this many historical partners per user (top by count).
+    max_partners: int = 50
+
+    def validate(self) -> None:
+        """Fail fast on invalid hyper-parameters."""
+        if self.partner_weight < 0:
+            raise ValueError("partner_weight must be >= 0")
+        if self.max_partners < 1:
+            raise ValueError("max_partners must be >= 1")
+
+
+class CFAPRE(Recommender):
+    """CFAPR extended for joint event-partner recommendation.
+
+    Parameters
+    ----------
+    event_model:
+        A fitted :class:`Recommender` supplying ``p(x|u)`` and event
+        vectors for activity similarity — the paper plugs in GEM-A.
+    """
+
+    def __init__(
+        self,
+        event_model: Recommender,
+        config: CFAPRConfig | None = None,
+    ):
+        self.event_model = event_model
+        self.config = config or CFAPRConfig()
+        self.config.validate()
+        #: per user: (partner ids, co-attendance counts, co-attended events)
+        self._history: list[dict[int, list[int]]] | None = None
+        self._event_vectors: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, bundle: GraphBundle) -> "CFAPRE":
+        """Mine historical co-attendance partners from the training graph."""
+        ue = bundle[USER_EVENT]
+        n_users = bundle.entity_counts[EntityType.USER]
+        A = sparse.csr_matrix(
+            (
+                np.ones(ue.n_edges),
+                (ue.left, ue.right),
+            ),
+            shape=(n_users, bundle.entity_counts[EntityType.EVENT]),
+        )
+        attendees_of_event = A.T.tocsr()
+
+        history: list[dict[int, list[int]]] = [dict() for _ in range(n_users)]
+        for xi in range(attendees_of_event.shape[0]):
+            users = attendees_of_event[xi].indices
+            if users.size < 2:
+                continue
+            for a in users:
+                for b in users:
+                    if a == b:
+                        continue
+                    history[a].setdefault(int(b), []).append(int(xi))
+
+        # Prune to the strongest partners per user.
+        cfg = self.config
+        for u in range(n_users):
+            if len(history[u]) > cfg.max_partners:
+                kept = sorted(
+                    history[u].items(), key=lambda kv: -len(kv[1])
+                )[: cfg.max_partners]
+                history[u] = dict(kept)
+        self._history = history
+
+        vectors = getattr(self.event_model, "event_vectors", None)
+        if vectors is None:
+            vectors = getattr(self.event_model, "event_factors", None)
+        if vectors is None:
+            raise TypeError(
+                "event_model must expose event vectors "
+                "(event_vectors or event_factors attribute)"
+            )
+        self._event_vectors = np.asarray(vectors, dtype=np.float64)
+        return self
+
+    def _require_fitted(self) -> list[dict[int, list[int]]]:
+        if self._history is None or self._event_vectors is None:
+            raise RuntimeError("CFAPRE is not fitted; call fit()")
+        return self._history
+
+    # ------------------------------------------------------------------
+    def _activity_similarity(self, event: int, history_events: list[int]) -> float:
+        """Mean cosine similarity between the target event and the events
+        the pair attended together (the CF 'similar activity' signal)."""
+        E = self._event_vectors
+        x = E[event]
+        nx = np.linalg.norm(x)
+        if nx == 0.0 or not history_events:
+            return 0.0
+        H = E[history_events]
+        norms = np.linalg.norm(H, axis=1)
+        valid = norms > 0
+        if not np.any(valid):
+            return 0.0
+        sims = (H[valid] @ x) / (norms[valid] * nx)
+        return float(sims.mean())
+
+    def partner_score(self, user: int, partner: int, event: int) -> float:
+        """CF score p(u'|u, x): zero unless u' is a historical partner."""
+        history = self._require_fitted()
+        events_together = history[user].get(partner)
+        if not events_together:
+            return 0.0
+        strength = 1.0 + np.log(len(events_together))
+        return strength * self._activity_similarity(event, events_together)
+
+    # ------------------------------------------------------------------
+    # Recommender interface
+    # ------------------------------------------------------------------
+    def score_user_event(self, user: int, events: np.ndarray) -> np.ndarray:
+        """p(x|u), delegated to the plugged-in event model (GEM-A)."""
+        return self.event_model.score_user_event(user, events)
+
+    def score_user_user(self, user: int, others: np.ndarray) -> np.ndarray:
+        """Historical-partner strength (log co-attendance count)."""
+        history = self._require_fitted()
+        others = np.asarray(others, dtype=np.int64)
+        out = np.zeros(others.shape[0], dtype=np.float64)
+        mine = history[user]
+        for t, other in enumerate(others.tolist()):
+            events_together = mine.get(int(other))
+            if events_together:
+                out[t] = 1.0 + np.log(len(events_together))
+        return out
+
+    def score_triples(
+        self, user: int, partners: np.ndarray, events: np.ndarray
+    ) -> np.ndarray:
+        """p(x|u) + w · p(u'|u, x) — the CFAPR-E combination."""
+        partners = np.asarray(partners, dtype=np.int64)
+        events = np.asarray(events, dtype=np.int64)
+        if partners.shape != events.shape:
+            raise ValueError("partners and events must be aligned")
+        event_scores = self.event_model.score_user_event(user, events)
+        cf = np.array(
+            [
+                self.partner_score(user, int(p), int(x))
+                for p, x in zip(partners, events)
+            ],
+            dtype=np.float64,
+        )
+        return event_scores + self.config.partner_weight * cf

@@ -1,0 +1,163 @@
+"""HeteRS-style random-walk recommender (Pham et al., ICDE'15, ref [12]).
+
+The paper's related work discusses HeteRS — "a general graph-based
+recommendation system model" that ranks entities by a multivariate Markov
+chain over the heterogeneous EBSN graph — and rejects it for the
+comparison because "HeteRS cannot separate the model training process
+from the online recommendation ... resulting in an unbearably long
+response time (hundreds of and even thousands of seconds)".
+
+This module reimplements that model family faithfully enough to measure
+the claim: a random-walk-with-restart (personalised PageRank) over the
+union of the five bipartite graphs, with the stationary mass on event
+(or user) nodes as the recommendation score.  There is nothing to train
+— the graph *is* the model — so every query pays power-iteration cost
+over the whole graph, which is exactly the structural drawback the paper
+cites; ``benchmarks/test_heters_latency.py`` compares its per-query time
+against GEM's TA index.
+
+Walk scores for cold-start events flow through the shared word / region /
+time-slot nodes, so the model is cold-start capable, just slow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.interfaces import Recommender
+from repro.ebsn.graphs import EntityType, GraphBundle
+
+#: Fixed global node-block order within the walk matrix.
+_TYPE_ORDER = (
+    EntityType.USER,
+    EntityType.EVENT,
+    EntityType.LOCATION,
+    EntityType.TIME,
+    EntityType.WORD,
+)
+
+
+@dataclass(slots=True)
+class HeteRSConfig:
+    """Random-walk parameters."""
+
+    restart_probability: float = 0.15
+    n_iterations: int = 20
+
+    def validate(self) -> None:
+        """Fail fast on invalid walk parameters."""
+        if not 0.0 < self.restart_probability < 1.0:
+            raise ValueError("restart_probability must be in (0, 1)")
+        if self.n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+
+
+class HeteRS(Recommender):
+    """Personalised-PageRank recommendation over the heterogeneous graph."""
+
+    def __init__(self, config: HeteRSConfig | None = None):
+        self.config = config or HeteRSConfig()
+        self.config.validate()
+        self._transition: sparse.csr_matrix | None = None
+        self._offsets: dict[EntityType, int] = {}
+        self._counts: dict[EntityType, int] = {}
+
+    # ------------------------------------------------------------------
+    def fit(self, bundle: GraphBundle) -> "HeteRS":
+        """Assemble the column-stochastic transition matrix.
+
+        "Fitting" is only bookkeeping — the walk runs on the raw graph at
+        query time, which is the method's defining (and disqualifying)
+        property in the paper's discussion.
+        """
+        offset = 0
+        for etype in _TYPE_ORDER:
+            self._offsets[etype] = offset
+            count = bundle.entity_counts.get(etype, 0)
+            self._counts[etype] = count
+            offset += count
+        n = offset
+
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        vals: list[np.ndarray] = []
+        for name in bundle.names:
+            graph = bundle[name]
+            li = graph.left + self._offsets[graph.left_type]
+            ri = graph.right + self._offsets[graph.right_type]
+            rows.extend([li, ri])
+            cols.extend([ri, li])
+            vals.extend([graph.weights, graph.weights])
+        adjacency = sparse.csr_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(n, n),
+        )
+        out_mass = np.asarray(adjacency.sum(axis=0)).ravel()
+        out_mass[out_mass == 0.0] = 1.0
+        self._transition = (adjacency @ sparse.diags(1.0 / out_mass)).tocsr()
+        return self
+
+    def _require_fitted(self) -> sparse.csr_matrix:
+        if self._transition is None:
+            raise RuntimeError("HeteRS is not fitted; call fit()")
+        return self._transition
+
+    # ------------------------------------------------------------------
+    def walk_from(self, entity_type: EntityType, index: int) -> np.ndarray:
+        """Random walk with restart from one node; returns the full
+        stationary-mass vector (power iteration, run per query)."""
+        P = self._require_fitted()
+        cfg = self.config
+        n = P.shape[0]
+        restart = np.zeros(n, dtype=np.float64)
+        restart[self._offsets[entity_type] + index] = 1.0
+        mass = restart.copy()
+        for _ in range(cfg.n_iterations):
+            mass = (1.0 - cfg.restart_probability) * (P @ mass) + (
+                cfg.restart_probability * restart
+            )
+        return mass
+
+    def _block(self, mass: np.ndarray, etype: EntityType) -> np.ndarray:
+        start = self._offsets[etype]
+        return mass[start : start + self._counts[etype]]
+
+    # ------------------------------------------------------------------
+    def score_user_event(self, user: int, events: np.ndarray) -> np.ndarray:
+        """Walk mass on the candidate event nodes."""
+        mass = self.walk_from(EntityType.USER, user)
+        return self._block(mass, EntityType.EVENT)[
+            np.asarray(events, dtype=np.int64)
+        ]
+
+    def score_user_user(self, user: int, others: np.ndarray) -> np.ndarray:
+        """Walk mass on the candidate user nodes."""
+        mass = self.walk_from(EntityType.USER, user)
+        return self._block(mass, EntityType.USER)[
+            np.asarray(others, dtype=np.int64)
+        ]
+
+    def score_triples(
+        self, user: int, partners: np.ndarray, events: np.ndarray
+    ) -> np.ndarray:
+        """Pairwise decomposition with a single walk for the target user
+        plus one walk per distinct partner (the per-query cost the paper
+        criticises grows with the candidate set)."""
+        partners = np.asarray(partners, dtype=np.int64)
+        events = np.asarray(events, dtype=np.int64)
+        if partners.shape != events.shape:
+            raise ValueError("partners and events must be aligned")
+        mass_u = self.walk_from(EntityType.USER, user)
+        user_event = self._block(mass_u, EntityType.EVENT)[events]
+        social = self._block(mass_u, EntityType.USER)[partners]
+        partner_event = np.empty(partners.shape[0], dtype=np.float64)
+        for p in np.unique(partners):
+            mask = partners == p
+            mass_p = self.walk_from(EntityType.USER, int(p))
+            partner_event[mask] = self._block(mass_p, EntityType.EVENT)[
+                events[mask]
+            ]
+        return user_event + partner_event + social

@@ -1,0 +1,103 @@
+"""Non-personalised sanity baselines.
+
+Not in the paper's comparison, but indispensable in practice: any
+personalised model must beat (a) random scoring and (b) popularity
+heuristics, or its signal is illusory.  For *cold-start* events global
+popularity is undefined (no attendance yet), so the popularity baseline
+scores a new event by the historical popularity of its venue's region
+and its time slots — the strongest cheap heuristic available to a system
+with no model at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interfaces import Recommender
+from repro.ebsn.graphs import (
+    EVENT_LOCATION,
+    EVENT_TIME,
+    USER_EVENT,
+    USER_USER,
+    EntityType,
+    GraphBundle,
+)
+from repro.utils.rng import ensure_rng
+
+
+class RandomScorer(Recommender):
+    """Seeded random scores — the chance-rate anchor."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = ensure_rng(seed)
+
+    def fit(self, bundle: GraphBundle) -> "RandomScorer":
+        """No-op (random scores need no training); returns self."""
+        return self
+
+    def score_user_event(self, user: int, events: np.ndarray) -> np.ndarray:
+        return self.rng.random(np.asarray(events).shape[0])
+
+    def score_user_user(self, user: int, others: np.ndarray) -> np.ndarray:
+        return self.rng.random(np.asarray(others).shape[0])
+
+
+class ContextPopularity(Recommender):
+    """Cold-start-capable popularity: region and time-slot attendance mass.
+
+    An event's score is the (log-scaled) number of training attendances
+    that happened in its region plus in its time slots — identical for
+    every user, so it measures how far pure popularity carries the
+    sampled-negative protocol.  Partner affinity is the candidate's own
+    activity level (gregarious users are likelier companions a priori).
+    """
+
+    def __init__(self):
+        self._event_scores: np.ndarray | None = None
+        self._user_activity: np.ndarray | None = None
+
+    def fit(self, bundle: GraphBundle) -> "ContextPopularity":
+        """Accumulate region/time-slot attendance mass from the training
+        graphs."""
+        ue = bundle[USER_EVENT]
+        n_events = bundle.entity_counts[EntityType.EVENT]
+        event_attendance = np.zeros(n_events, dtype=np.float64)
+        np.add.at(event_attendance, ue.right, 1.0)
+
+        loc = bundle[EVENT_LOCATION]
+        region_mass = np.zeros(
+            bundle.entity_counts[EntityType.LOCATION], dtype=np.float64
+        )
+        np.add.at(region_mass, loc.right, event_attendance[loc.left])
+        slot_mass = np.zeros(
+            bundle.entity_counts[EntityType.TIME], dtype=np.float64
+        )
+        time = bundle[EVENT_TIME]
+        np.add.at(slot_mass, time.right, event_attendance[time.left])
+
+        scores = np.zeros(n_events, dtype=np.float64)
+        np.add.at(scores, loc.left, np.log1p(region_mass[loc.right]))
+        np.add.at(scores, time.left, np.log1p(slot_mass[time.right]))
+        self._event_scores = scores
+
+        n_users = bundle.entity_counts[EntityType.USER]
+        activity = np.zeros(n_users, dtype=np.float64)
+        np.add.at(activity, ue.left, 1.0)
+        if USER_USER in bundle:
+            uu = bundle[USER_USER]
+            np.add.at(activity, uu.left, 0.5)
+            np.add.at(activity, uu.right, 0.5)
+        self._user_activity = np.log1p(activity)
+        return self
+
+    def _require_fitted(self) -> np.ndarray:
+        if self._event_scores is None:
+            raise RuntimeError("ContextPopularity is not fitted; call fit()")
+        return self._event_scores
+
+    def score_user_event(self, user: int, events: np.ndarray) -> np.ndarray:
+        return self._require_fitted()[np.asarray(events, dtype=np.int64)]
+
+    def score_user_user(self, user: int, others: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return self._user_activity[np.asarray(others, dtype=np.int64)]

@@ -1,0 +1,83 @@
+"""The paper's primary contribution: the GEM graph-based embedding model.
+
+Contents map to Section III (bipartite embedding objective, bidirectional
+negative sampling, the adaptive adversarial noise sampler of Algorithm 1,
+joint multi-graph training of Algorithm 2) and the triple scoring of
+Section IV (Eqn 8).
+"""
+
+from repro.core.adaptive import (
+    AdaptiveNoiseSampler,
+    ExactAdaptiveSampler,
+    default_refresh_interval,
+)
+from repro.core.alias import AliasTable
+from repro.core.embeddings import EmbeddingSet
+from repro.core.fold_in import (
+    EventFoldIn,
+    FoldInConfig,
+    NewEventDescription,
+)
+from repro.core.gem import GEM
+from repro.core.interfaces import Recommender
+from repro.core.objective import (
+    log_sigmoid,
+    positive_log_likelihood,
+    sampled_objective,
+    sigmoid,
+)
+from repro.core.parallel import (
+    ParallelTrainingResult,
+    speedup_curve,
+    train_parallel,
+)
+from repro.core.samplers import (
+    DegreeNoiseSampler,
+    NoiseSampler,
+    UniformNoiseSampler,
+    sample_truncated_geometric,
+)
+from repro.core.scoring import triple_score_matrix, triple_scores
+from repro.core.similarity import (
+    cosine_similarity_matrix,
+    cross_type_neighbors,
+    explain_event,
+    nearest_neighbors,
+)
+from repro.core.trainer import JointTrainer, TrainerConfig, TrainingLogEntry
+from repro.core.updates import sgd_step, sgd_step_batch
+
+__all__ = [
+    "GEM",
+    "AdaptiveNoiseSampler",
+    "AliasTable",
+    "DegreeNoiseSampler",
+    "EmbeddingSet",
+    "EventFoldIn",
+    "ExactAdaptiveSampler",
+    "FoldInConfig",
+    "NewEventDescription",
+    "JointTrainer",
+    "NoiseSampler",
+    "ParallelTrainingResult",
+    "Recommender",
+    "TrainerConfig",
+    "TrainingLogEntry",
+    "UniformNoiseSampler",
+    "cosine_similarity_matrix",
+    "cross_type_neighbors",
+    "explain_event",
+    "nearest_neighbors",
+    "default_refresh_interval",
+    "log_sigmoid",
+    "positive_log_likelihood",
+    "sample_truncated_geometric",
+    "sampled_objective",
+    "sgd_step",
+    "sgd_step_batch",
+    "sigmoid",
+    "speedup_curve",
+    "train_parallel",
+    "triple_score_matrix",
+    "triple_scores",
+]

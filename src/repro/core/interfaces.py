@@ -1,0 +1,68 @@
+"""The scoring interface shared by GEM and every baseline.
+
+The evaluation protocols (Section V-B) and the online recommender only
+need three operations; any model exposing them plugs into every
+experiment.  The default triple implementation applies the paper's
+pairwise decomposition (Section IV) — the same extension the paper uses
+to make the comparison methods support event-partner recommendation.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class Recommender(abc.ABC):
+    """Scoring interface consumed by evaluators and the online engine."""
+
+    @abc.abstractmethod
+    def score_user_event(self, user: int, events: np.ndarray) -> np.ndarray:
+        """Preference of ``user`` for each event in ``events`` (higher = better)."""
+
+    @abc.abstractmethod
+    def score_user_user(self, user: int, others: np.ndarray) -> np.ndarray:
+        """Social affinity between ``user`` and each user in ``others``."""
+
+    def score_user_event_aligned(
+        self, users: np.ndarray, events: np.ndarray
+    ) -> np.ndarray:
+        """Row-aligned user-event scores.
+
+        Default groups the rows by user and delegates to
+        :meth:`score_user_event`; embedding models override with a single
+        vectorised gather.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        events = np.asarray(events, dtype=np.int64)
+        if users.shape != events.shape:
+            raise ValueError(
+                f"users/events must be aligned, got {users.shape} vs {events.shape}"
+            )
+        out = np.empty(users.shape[0], dtype=np.float64)
+        for u in np.unique(users):
+            mask = users == u
+            out[mask] = self.score_user_event(int(u), events[mask])
+        return out
+
+    def score_triples(
+        self, user: int, partners: np.ndarray, events: np.ndarray
+    ) -> np.ndarray:
+        """Score aligned (partner, event) candidates for ``user``.
+
+        Default: the pairwise decomposition of Eqn 8 —
+        ``s(u, x) + s(u', x) + s(u, u')``.  Models with a joint latent
+        space (GEM) inherit this; CFAPR-E overrides it.
+        """
+        partners = np.asarray(partners, dtype=np.int64)
+        events = np.asarray(events, dtype=np.int64)
+        if partners.shape != events.shape:
+            raise ValueError(
+                f"partners/events must be aligned, got {partners.shape} vs "
+                f"{events.shape}"
+            )
+        user_event = self.score_user_event(user, events)
+        social = self.score_user_user(user, partners)
+        partner_event = self.score_user_event_aligned(partners, events)
+        return user_event + partner_event + social

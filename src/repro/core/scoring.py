@@ -1,0 +1,66 @@
+"""Triple scoring via pairwise decomposition (Section IV, Eqn 8).
+
+The success probability of user ``u`` adopting the recommended pair
+``(x, u')`` is a sigmoid of :math:`\\vec u^\\top\\vec x +
+\\vec{u'}^\\top\\vec x + \\vec u^\\top\\vec{u'} + \\beta`; since only the
+ranking matters for top-n recommendation, the library scores triples by
+the raw sum of the three inner products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def triple_scores(
+    user_vec: np.ndarray,
+    partner_vecs: np.ndarray,
+    event_vecs: np.ndarray,
+) -> np.ndarray:
+    """Eqn 8 scores for aligned arrays of (partner, event) candidates.
+
+    Parameters
+    ----------
+    user_vec:
+        ``(K,)`` target user embedding.
+    partner_vecs, event_vecs:
+        ``(n, K)`` candidate partner and event embeddings, row-aligned —
+        row ``t`` scores the triple ``(u, partner[t], event[t])``.
+
+    Returns
+    -------
+    ``(n,)`` scores ``u·x + u'·x + u·u'``.
+    """
+    user_vec = np.asarray(user_vec, dtype=np.float64)
+    partner_vecs = np.asarray(partner_vecs, dtype=np.float64)
+    event_vecs = np.asarray(event_vecs, dtype=np.float64)
+    if partner_vecs.shape != event_vecs.shape:
+        raise ValueError(
+            f"partner/event shape mismatch: {partner_vecs.shape} vs "
+            f"{event_vecs.shape}"
+        )
+    return (
+        event_vecs @ user_vec
+        + np.einsum("nk,nk->n", partner_vecs, event_vecs)
+        + partner_vecs @ user_vec
+    )
+
+
+def triple_score_matrix(
+    user_vec: np.ndarray,
+    partner_vecs: np.ndarray,
+    event_vecs: np.ndarray,
+) -> np.ndarray:
+    """Eqn 8 scores for the full cross product: ``(n_partners, n_events)``.
+
+    This is the naive method of Section IV (score every event-partner
+    combination) — used by the brute-force online recommender and as the
+    oracle in TA correctness tests.
+    """
+    user_vec = np.asarray(user_vec, dtype=np.float64)
+    partner_vecs = np.asarray(partner_vecs, dtype=np.float64)
+    event_vecs = np.asarray(event_vecs, dtype=np.float64)
+    user_event = event_vecs @ user_vec  # (n_events,)
+    partner_event = partner_vecs @ event_vecs.T  # (n_partners, n_events)
+    user_partner = partner_vecs @ user_vec  # (n_partners,)
+    return user_event[None, :] + partner_event + user_partner[:, None]

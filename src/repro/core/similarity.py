@@ -1,0 +1,83 @@
+"""Similarity queries over the learned embedding space.
+
+Beyond scoring, a deployed EBSN service wants "related events", "users
+like you", and topic diagnostics.  These helpers run cosine
+nearest-neighbour queries against any embedding matrix and cross-type
+queries through the shared space (Section II: all entity types live in
+one latent space, so an event's nearest *words* explain what the model
+thinks it is about).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities, shape ``(len(a), len(b))``.
+
+    Zero vectors yield zero similarity (not NaN) — relevant for ReLU-
+    trained embeddings where rarely-touched rows can be all-zero.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError(f"incompatible shapes: {a.shape} vs {b.shape}")
+    na = np.linalg.norm(a, axis=1, keepdims=True)
+    nb = np.linalg.norm(b, axis=1, keepdims=True)
+    an = np.divide(a, na, out=np.zeros_like(a), where=na > 0)
+    bn = np.divide(b, nb, out=np.zeros_like(b), where=nb > 0)
+    return an @ bn.T
+
+
+def nearest_neighbors(
+    matrix: np.ndarray,
+    query_index: int,
+    n: int = 10,
+    *,
+    exclude_self: bool = True,
+) -> list[tuple[int, float]]:
+    """Top-n cosine neighbours of row ``query_index`` within ``matrix``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    matrix = np.asarray(matrix, dtype=np.float64)
+    sims = cosine_similarity_matrix(matrix[query_index : query_index + 1], matrix)[0]
+    if exclude_self:
+        sims[query_index] = -np.inf
+    k = min(n, sims.shape[0] - (1 if exclude_self else 0))
+    if k < 1:
+        return []
+    top = np.argpartition(-sims, k - 1)[:k]
+    order = top[np.lexsort((top, -sims[top]))]
+    return [(int(i), float(sims[i])) for i in order if np.isfinite(sims[i])]
+
+
+def cross_type_neighbors(
+    query_vector: np.ndarray,
+    target_matrix: np.ndarray,
+    n: int = 10,
+) -> list[tuple[int, float]]:
+    """Top-n rows of ``target_matrix`` most cosine-similar to a vector of
+    another entity type (e.g. an event's nearest words)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    query_vector = np.asarray(query_vector, dtype=np.float64)
+    sims = cosine_similarity_matrix(
+        query_vector[None, :], np.asarray(target_matrix, dtype=np.float64)
+    )[0]
+    k = min(n, sims.shape[0])
+    top = np.argpartition(-sims, k - 1)[:k]
+    order = top[np.lexsort((top, -sims[top]))]
+    return [(int(i), float(sims[i])) for i in order]
+
+
+def explain_event(
+    event_vector: np.ndarray,
+    word_matrix: np.ndarray,
+    vocabulary,
+    n: int = 8,
+) -> list[tuple[str, float]]:
+    """The n words whose embeddings best align with an event's — a
+    human-readable account of what the model learned the event is about."""
+    neighbours = cross_type_neighbors(event_vector, word_matrix, n=n)
+    return [(vocabulary.word_of(i), s) for i, s in neighbours]

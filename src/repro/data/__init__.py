@@ -1,0 +1,33 @@
+"""Dataset substrate: synthetic Douban-like EBSN generation, presets,
+chronological splitting and persistence."""
+
+from repro.data.io import load_ebsn, load_embeddings, save_ebsn, save_embeddings
+from repro.data.meetup import load_meetup_directory, load_meetup_export
+from repro.data.presets import PRESETS, get_preset, make_dataset, preset_names
+from repro.data.splits import DatasetSplit, PartnerTriple, chronological_split
+from repro.data.synthetic import (
+    SyntheticConfig,
+    SyntheticEBSNGenerator,
+    SyntheticGroundTruth,
+    generate_ebsn,
+)
+
+__all__ = [
+    "PRESETS",
+    "DatasetSplit",
+    "PartnerTriple",
+    "SyntheticConfig",
+    "SyntheticEBSNGenerator",
+    "SyntheticGroundTruth",
+    "chronological_split",
+    "generate_ebsn",
+    "get_preset",
+    "load_ebsn",
+    "load_meetup_directory",
+    "load_meetup_export",
+    "load_embeddings",
+    "make_dataset",
+    "preset_names",
+    "save_ebsn",
+    "save_embeddings",
+]

@@ -1,0 +1,79 @@
+"""Dataset CLI: generate, inspect and persist synthetic EBSN datasets.
+
+Examples::
+
+    python -m repro.data generate --preset beijing-small --out data/bj
+    python -m repro.data stats data/bj
+    python -m repro.data presets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.io import load_ebsn, save_ebsn
+from repro.data.presets import get_preset, make_dataset, preset_names
+
+
+def _cmd_presets(_args) -> int:
+    for name in preset_names():
+        config = get_preset(name)
+        print(
+            f"{name:<16} users={config.n_users:<7} events={config.n_events:<7} "
+            f"venues={config.n_venues:<6} attendances~{config.target_attendances:,}"
+        )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    ebsn, _truth = make_dataset(args.preset, seed=args.seed)
+    directory = save_ebsn(ebsn, args.out)
+    print(f"wrote {args.preset} (seed {args.seed}) to {directory}")
+    for label, value in ebsn.statistics().as_rows():
+        print(f"  {label:<30} {value:>10,}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    ebsn = load_ebsn(args.directory)
+    print(f"dataset: {ebsn.name}")
+    for label, value in ebsn.statistics().as_rows():
+        print(f"  {label:<30} {value:>10,}")
+    if args.analyze:
+        from repro.ebsn.analysis import analyze_ebsn
+
+        print()
+        print(analyze_ebsn(ebsn).format_report())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.data")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("presets", help="list available presets").set_defaults(
+        func=_cmd_presets
+    )
+
+    gen = sub.add_parser("generate", help="generate a preset to disk")
+    gen.add_argument("--preset", default="beijing-small")
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="print a stored dataset's statistics")
+    stats.add_argument("directory")
+    stats.add_argument(
+        "--analyze",
+        action="store_true",
+        help="add the distributional report (tails, Gini, co-attendance)",
+    )
+    stats.set_defaults(func=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

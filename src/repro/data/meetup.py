@@ -1,0 +1,167 @@
+"""Adapter for Meetup-style API/export JSON into an :class:`EBSN`.
+
+The paper's data source (a Douban Event crawl) is private, but the same
+observables are exposed by the Meetup API and its GDPR data exports.
+This adapter consumes that shape — one JSON object per line or a JSON
+array — for the four record kinds a crawl produces:
+
+* **members**: ``{"member_id": ..., "name": ...}``
+* **venues**:  ``{"venue_id": ..., "lat": ..., "lon": ..., "name": ...}``
+* **events**:  ``{"event_id": ..., "venue_id": ..., "time": <epoch ms>,
+  "description": ..., "name": ...}``  (Meetup reports times in epoch
+  *milliseconds*; seconds are auto-detected)
+* **rsvps**:   ``{"member_id": ..., "event_id": ...,
+  "response": "yes"|"no"|"waitlist"}``  (only "yes" becomes attendance)
+
+Friendships: Meetup has no explicit friend graph; following common
+practice (and the EBSN literature), co-membership can be densified
+separately — the adapter accepts an optional ``friendships`` record list
+(``{"member_a": ..., "member_b": ...}``) produced by whatever social
+linkage the crawl had.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.ebsn.entities import Attendance, Event, Friendship, User, Venue
+from repro.ebsn.network import EBSN
+
+#: Timestamps greater than this are treated as epoch milliseconds
+#: (year ~2128 in seconds, year 1970+2 months in ms).
+_MS_THRESHOLD = 5_000_000_000
+
+
+def _normalise_time(value: float) -> float:
+    value = float(value)
+    return value / 1000.0 if value > _MS_THRESHOLD else value
+
+
+def _load_records(source) -> list[dict]:
+    """Accept a path (JSON array or JSON-lines) or an in-memory list."""
+    if isinstance(source, list):
+        return source
+    path = Path(source)
+    text = path.read_text(encoding="utf-8").strip()
+    if not text:
+        return []
+    if text.startswith("["):
+        records = json.loads(text)
+        if not isinstance(records, list):
+            raise ValueError(f"{path}: expected a JSON array")
+        return records
+    records = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
+    return records
+
+
+def _require(record: dict, key: str, kind: str) -> object:
+    if key not in record:
+        raise ValueError(f"{kind} record missing {key!r}: {record}")
+    return record[key]
+
+
+def load_meetup_export(
+    *,
+    members,
+    venues,
+    events,
+    rsvps,
+    friendships=None,
+    name: str = "meetup",
+    yes_responses: frozenset[str] = frozenset({"yes"}),
+) -> EBSN:
+    """Build an :class:`EBSN` from Meetup-style record collections.
+
+    Each argument is a path to a ``.json``/``.jsonl`` file or an already
+    loaded ``list[dict]``.  RSVPs whose ``response`` is not in
+    ``yes_responses`` are dropped (no-shows and waitlists are not
+    attendance); records referencing unknown members/events are rejected
+    by the EBSN constructor, surfacing crawl inconsistencies early.
+    """
+    users = [
+        User(
+            user_id=str(_require(r, "member_id", "member")),
+            name=str(r.get("name", "")),
+        )
+        for r in _load_records(members)
+    ]
+    venue_objs = [
+        Venue(
+            venue_id=str(_require(r, "venue_id", "venue")),
+            lat=float(_require(r, "lat", "venue")),
+            lon=float(_require(r, "lon", "venue")),
+            name=str(r.get("name", "")),
+        )
+        for r in _load_records(venues)
+    ]
+    event_objs = [
+        Event(
+            event_id=str(_require(r, "event_id", "event")),
+            venue_id=str(_require(r, "venue_id", "event")),
+            start_time=_normalise_time(_require(r, "time", "event")),
+            description=str(r.get("description", "")),
+            title=str(r.get("name", "")),
+        )
+        for r in _load_records(events)
+    ]
+    attendances = []
+    for r in _load_records(rsvps):
+        response = str(r.get("response", "yes")).lower()
+        if response not in yes_responses:
+            continue
+        attendances.append(
+            Attendance(
+                user_id=str(_require(r, "member_id", "rsvp")),
+                event_id=str(_require(r, "event_id", "rsvp")),
+                rating=r.get("rating"),
+            )
+        )
+    friend_objs = [
+        Friendship(
+            user_a=str(_require(r, "member_a", "friendship")),
+            user_b=str(_require(r, "member_b", "friendship")),
+        )
+        for r in _load_records(friendships or [])
+    ]
+    return EBSN(
+        users=users,
+        events=event_objs,
+        venues=venue_objs,
+        attendances=attendances,
+        friendships=friend_objs,
+        name=name,
+    )
+
+
+def load_meetup_directory(directory, *, name: str | None = None) -> EBSN:
+    """Load a directory laid out as ``members/venues/events/rsvps[.jsonl]``
+    (+ optional ``friendships.jsonl``)."""
+    directory = Path(directory)
+
+    def pick(stem: str, required: bool = True):
+        for suffix in (".jsonl", ".json"):
+            candidate = directory / f"{stem}{suffix}"
+            if candidate.exists():
+                return candidate
+        if required:
+            raise FileNotFoundError(f"{directory} has no {stem}.json[l]")
+        return None
+
+    friendships = pick("friendships", required=False)
+    return load_meetup_export(
+        members=pick("members"),
+        venues=pick("venues"),
+        events=pick("events"),
+        rsvps=pick("rsvps"),
+        friendships=friendships,
+        name=name or directory.name,
+    )

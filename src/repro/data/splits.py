@@ -1,0 +1,172 @@
+"""Chronological train/validation/test splitting and ground-truth builders.
+
+Implements Section V-A of the paper:
+
+* events are ordered by start time and split **7:3** into training and
+  held-out sets; the held-out set is further split **1:2** into validation
+  and test.  Held-out events keep their content/location/time edges but
+  lose all attendance edges at training time — they are genuine cold-start
+  items;
+* *event-recommendation* ground truth = the test user-event attendance
+  edges;
+* *event-partner* ground truth = triples ``(u, u', x)`` where ``x`` is a
+  test event and ``u, u'`` are friends who both attended it (scenario 1).
+  Scenario 2 ("potential friends") additionally removes those pairs'
+  social links from the user-user graph before training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ebsn.graphs import GraphBundle, build_graph_bundle
+from repro.ebsn.network import EBSN
+
+
+@dataclass(frozen=True, slots=True)
+class PartnerTriple:
+    """A ground-truth event-partner case: target user, partner, event."""
+
+    user: int
+    partner: int
+    event: int
+
+    def pair_key(self) -> tuple[int, int]:
+        """Undirected (user, partner) key, used for scenario-2 link removal."""
+        return (min(self.user, self.partner), max(self.user, self.partner))
+
+
+@dataclass(slots=True)
+class DatasetSplit:
+    """A chronological split of an EBSN.
+
+    Event sets are disjoint; ``train_events | val_events | test_events``
+    covers all events.  Edge lists hold ``(user_idx, event_idx)`` pairs
+    drawn from the attendance records of the corresponding event set.
+    """
+
+    ebsn: EBSN
+    train_events: frozenset[int]
+    val_events: frozenset[int]
+    test_events: frozenset[int]
+    train_edges: list[tuple[int, int]] = field(default_factory=list)
+    val_edges: list[tuple[int, int]] = field(default_factory=list)
+    test_edges: list[tuple[int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        sets = (self.train_events, self.val_events, self.test_events)
+        total = sum(len(s) for s in sets)
+        union = self.train_events | self.val_events | self.test_events
+        if total != len(union):
+            raise ValueError("train/val/test event sets must be disjoint")
+        if len(union) != self.ebsn.n_events:
+            raise ValueError(
+                f"split covers {len(union)} events but EBSN has {self.ebsn.n_events}"
+            )
+        if not self.train_edges and not self.val_edges and not self.test_edges:
+            for att in self.ebsn.attendances:
+                ui = self.ebsn.user_index[att.user_id]
+                xi = self.ebsn.event_index[att.event_id]
+                if xi in self.train_events:
+                    self.train_edges.append((ui, xi))
+                elif xi in self.val_events:
+                    self.val_edges.append((ui, xi))
+                else:
+                    self.test_edges.append((ui, xi))
+
+    # ------------------------------------------------------------------
+    def training_events_of_user(self, user_idx: int) -> frozenset[int]:
+        """Training-period events attended by a user (paper's X_u^training)."""
+        return self.ebsn.events_of_user(user_idx) & self.train_events
+
+    def training_bundle(
+        self,
+        *,
+        excluded_friend_pairs: set[tuple[int, int]] | None = None,
+        **graph_kwargs,
+    ) -> GraphBundle:
+        """Build the five training graphs.
+
+        User-event edges are restricted to training events (cold-start
+        protocol); the user-user common-event weights likewise only count
+        training events.  ``excluded_friend_pairs`` implements scenario 2.
+        Remaining kwargs flow to :func:`build_graph_bundle` (region eps,
+        vocabulary pruning, ...).
+        """
+        return build_graph_bundle(
+            self.ebsn,
+            allowed_events=set(self.train_events),
+            excluded_friend_pairs=excluded_friend_pairs,
+            **graph_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    def partner_triples(
+        self, *, events: frozenset[int] | None = None, both_directions: bool = False
+    ) -> list[PartnerTriple]:
+        """Event-partner ground truth over ``events`` (default: test events).
+
+        For each event, every friend pair among its attendees yields a
+        triple.  With ``both_directions`` each unordered pair produces two
+        triples (either user as the target); the default keeps one
+        (smallest index as target), which halves evaluation cost without
+        changing comparative results.
+        """
+        if events is None:
+            events = self.test_events
+        triples: list[PartnerTriple] = []
+        for x in sorted(events):
+            attendees = sorted(self.ebsn.users_of_event(x))
+            for i, u in enumerate(attendees):
+                friends = self.ebsn.friends_of(u)
+                for v in attendees[i + 1 :]:
+                    if v in friends:
+                        triples.append(PartnerTriple(user=u, partner=v, event=x))
+                        if both_directions:
+                            triples.append(PartnerTriple(user=v, partner=u, event=x))
+        return triples
+
+    def scenario2_excluded_pairs(
+        self, triples: list[PartnerTriple] | None = None
+    ) -> set[tuple[int, int]]:
+        """Social links to delete for the potential-friends scenario.
+
+        The paper: "for each user-partner pair (u, u') in Y, we remove
+        their social links from the graph G_UU when training models".
+        """
+        if triples is None:
+            triples = self.partner_triples()
+        return {t.pair_key() for t in triples}
+
+
+def chronological_split(
+    ebsn: EBSN,
+    *,
+    train_fraction: float = 0.7,
+    validation_fraction_of_holdout: float = 1.0 / 3.0,
+) -> DatasetSplit:
+    """Split events chronologically 7:3, then the holdout 1:2 (val:test).
+
+    Ties in start time are broken by event index, so the split is
+    deterministic.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    if not 0.0 <= validation_fraction_of_holdout < 1.0:
+        raise ValueError(
+            "validation_fraction_of_holdout must be in [0, 1), got "
+            f"{validation_fraction_of_holdout}"
+        )
+
+    ordered = ebsn.events_sorted_by_time()
+    n_train = int(round(train_fraction * len(ordered)))
+    n_train = min(max(n_train, 1), max(len(ordered) - 1, 1))
+    holdout = ordered[n_train:]
+    n_val = int(round(validation_fraction_of_holdout * len(holdout)))
+
+    return DatasetSplit(
+        ebsn=ebsn,
+        train_events=frozenset(int(x) for x in ordered[:n_train]),
+        val_events=frozenset(int(x) for x in holdout[:n_val]),
+        test_events=frozenset(int(x) for x in holdout[n_val:]),
+    )

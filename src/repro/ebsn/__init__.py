@@ -1,0 +1,100 @@
+"""Event-based social network substrate.
+
+Implements Definition 1 (the heterogeneous EBSN graph) and Definitions 2-6
+(the five bipartite graphs GEM trains on), plus the discretisation the
+paper applies first: DBSCAN venue regions and the 33 multi-scale time
+slots, and the TF-IDF text pipeline for event-word edges.
+"""
+
+from repro.ebsn.analysis import (
+    DistributionSummary,
+    EBSNAnalysis,
+    analyze_ebsn,
+    gini_coefficient,
+)
+from repro.ebsn.dbscan import dbscan, dbscan_geo, haversine_km
+from repro.ebsn.entities import (
+    Attendance,
+    DatasetStatistics,
+    Event,
+    Friendship,
+    User,
+    Venue,
+)
+from repro.ebsn.graphs import (
+    ALL_GRAPH_NAMES,
+    EVENT_LOCATION,
+    EVENT_TIME,
+    EVENT_WORD,
+    USER_EVENT,
+    USER_USER,
+    BipartiteGraph,
+    EntityType,
+    GraphBundle,
+    build_event_location_graph,
+    build_event_time_graph,
+    build_event_word_graph,
+    build_graph_bundle,
+    build_user_event_graph,
+    build_user_user_graph,
+)
+from repro.ebsn.network import EBSN
+from repro.ebsn.regions import RegionAssignment, assign_regions
+from repro.ebsn.text import (
+    STOPWORDS,
+    Vocabulary,
+    build_vocabulary,
+    tfidf_corpus,
+    tfidf_document,
+    tokenize,
+)
+from repro.ebsn.timeslots import (
+    N_TIME_SLOTS,
+    all_slot_names,
+    slot_name,
+    time_slots,
+)
+
+__all__ = [
+    "Attendance",
+    "DatasetStatistics",
+    "Event",
+    "Friendship",
+    "User",
+    "Venue",
+    "EBSN",
+    "DistributionSummary",
+    "EBSNAnalysis",
+    "analyze_ebsn",
+    "gini_coefficient",
+    "BipartiteGraph",
+    "EntityType",
+    "GraphBundle",
+    "RegionAssignment",
+    "Vocabulary",
+    "ALL_GRAPH_NAMES",
+    "USER_EVENT",
+    "USER_USER",
+    "EVENT_LOCATION",
+    "EVENT_TIME",
+    "EVENT_WORD",
+    "N_TIME_SLOTS",
+    "STOPWORDS",
+    "all_slot_names",
+    "assign_regions",
+    "build_event_location_graph",
+    "build_event_time_graph",
+    "build_event_word_graph",
+    "build_graph_bundle",
+    "build_user_event_graph",
+    "build_user_user_graph",
+    "build_vocabulary",
+    "dbscan",
+    "dbscan_geo",
+    "haversine_km",
+    "slot_name",
+    "tfidf_corpus",
+    "tfidf_document",
+    "time_slots",
+    "tokenize",
+]

@@ -1,0 +1,127 @@
+"""Dataset analysis: the distributional facts EBSN papers report.
+
+Beyond Table I's raw counts, the EBSN literature characterises datasets
+by their heavy tails — attendance per user, audience per event, degree
+in the social graph — and by how social co-attendance is (the fraction
+of attendances shared with a friend, which is what makes event-partner
+recommendation well-posed).  This module computes those statistics for
+any :class:`EBSN`, for sanity-checking synthetic data against crawl
+expectations and for reporting on real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ebsn.network import EBSN
+
+
+@dataclass(slots=True)
+class DistributionSummary:
+    """Five-point summary + mean and Gini of a non-negative distribution."""
+
+    mean: float
+    p10: float
+    median: float
+    p90: float
+    maximum: float
+    gini: float
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "DistributionSummary":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        if np.any(values < 0):
+            raise ValueError("values must be non-negative")
+        return cls(
+            mean=float(values.mean()),
+            p10=float(np.percentile(values, 10)),
+            median=float(np.median(values)),
+            p90=float(np.percentile(values, 90)),
+            maximum=float(values.max()),
+            gini=gini_coefficient(values),
+        )
+
+    def row(self, label: str) -> str:
+        """One aligned report line for this distribution."""
+        return (
+            f"{label:<28}mean={self.mean:8.2f}  p10={self.p10:6.1f}  "
+            f"median={self.median:6.1f}  p90={self.p90:6.1f}  "
+            f"max={self.maximum:7.1f}  gini={self.gini:.2f}"
+        )
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini inequality coefficient of a non-negative sample (0 = equal)."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if values.size == 0 or values.sum() == 0:
+        return 0.0
+    if np.any(values < 0):
+        raise ValueError("values must be non-negative")
+    n = values.size
+    index = np.arange(1, n + 1)
+    return float((2.0 * (index * values).sum() - (n + 1) * values.sum()) / (n * values.sum()))
+
+
+@dataclass(slots=True)
+class EBSNAnalysis:
+    """Distributional report for one EBSN."""
+
+    name: str
+    events_per_user: DistributionSummary
+    attendees_per_event: DistributionSummary
+    friends_per_user: DistributionSummary
+    social_coattendance_rate: float
+    users_with_no_friends: int
+    users_below_five_events: int
+
+    def format_report(self) -> str:
+        """Render the analysis as an aligned text report."""
+        lines = [
+            f"EBSN analysis: {self.name}",
+            self.events_per_user.row("events per user"),
+            self.attendees_per_event.row("attendees per event"),
+            self.friends_per_user.row("friends per user"),
+            f"{'social co-attendance rate':<28}{self.social_coattendance_rate:.1%} "
+            "of attendances shared with >=1 friend",
+            f"{'users with no friends':<28}{self.users_with_no_friends}",
+            f"{'users under 5 events':<28}{self.users_below_five_events} "
+            "(the paper filters these out)",
+        ]
+        return "\n".join(lines)
+
+
+def analyze_ebsn(ebsn: EBSN) -> EBSNAnalysis:
+    """Compute the distributional report for an EBSN."""
+    events_per_user = np.array(
+        [len(ebsn.events_of_user(u)) for u in range(ebsn.n_users)]
+    )
+    attendees_per_event = np.array(
+        [len(ebsn.users_of_event(x)) for x in range(ebsn.n_events)]
+    )
+    friends_per_user = np.array(
+        [len(ebsn.friends_of(u)) for u in range(ebsn.n_users)]
+    )
+
+    shared = 0
+    total = 0
+    for x in range(ebsn.n_events):
+        attendees = ebsn.users_of_event(x)
+        for u in attendees:
+            total += 1
+            if ebsn.friends_of(u) & attendees:
+                shared += 1
+    rate = shared / total if total else 0.0
+
+    return EBSNAnalysis(
+        name=ebsn.name,
+        events_per_user=DistributionSummary.from_values(events_per_user),
+        attendees_per_event=DistributionSummary.from_values(attendees_per_event),
+        friends_per_user=DistributionSummary.from_values(friends_per_user),
+        social_coattendance_rate=rate,
+        users_with_no_friends=int((friends_per_user == 0).sum()),
+        users_below_five_events=int((events_per_user < 5).sum()),
+    )

@@ -1,0 +1,127 @@
+"""Entity model for event-based social networks (Definition 1 of the paper).
+
+An EBSN contains five node types: users, events, locations (venues grouped
+into regions), time slots, and content words.  This module defines the raw
+entities as lightweight frozen dataclasses; the container that indexes them
+lives in :mod:`repro.ebsn.network`, and the derived bipartite graphs
+(Definitions 2-6) in :mod:`repro.ebsn.graphs`.
+
+Timestamps are stored as POSIX seconds (UTC) so chronological train/test
+splitting (Section V-A) is a plain sort, and converted to calendar fields
+only by :mod:`repro.ebsn.timeslots`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Venue:
+    """A physical place where events are held.
+
+    The paper groups venues into discrete *regions* with DBSCAN over their
+    geographic coordinates (Section II); the clustering operates on
+    ``(lat, lon)`` of these objects.
+    """
+
+    venue_id: str
+    lat: float
+    lon: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+
+@dataclass(frozen=True, slots=True)
+class User:
+    """A registered user of the EBSN."""
+
+    user_id: str
+    name: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A social event: what (description), where (venue), when (start_time).
+
+    ``description`` is the raw text document :math:`\\mathcal{D}_x` from
+    which event-word edges are derived (Definition 6).
+    """
+
+    event_id: str
+    venue_id: str
+    start_time: float  # POSIX seconds, UTC
+    description: str = ""
+    title: str = ""
+    organizer_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_time < 0:
+            raise ValueError(f"start_time must be non-negative, got {self.start_time}")
+
+
+@dataclass(frozen=True, slots=True)
+class Attendance:
+    """A user's registration/attendance record for an event.
+
+    ``rating`` feeds the user-event edge weight :math:`w_{ux}` when present
+    (Definition 3); otherwise the weight defaults to 1.
+    """
+
+    user_id: str
+    event_id: str
+    rating: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rating is not None and self.rating <= 0:
+            raise ValueError(f"rating must be positive when given, got {self.rating}")
+
+
+@dataclass(frozen=True, slots=True)
+class Friendship:
+    """An undirected social link between two distinct users."""
+
+    user_a: str
+    user_b: str
+
+    def __post_init__(self) -> None:
+        if self.user_a == self.user_b:
+            raise ValueError(f"self-friendship is not allowed: {self.user_a}")
+
+    def normalized(self) -> "Friendship":
+        """Return the canonical orientation (lexicographically sorted ids)."""
+        if self.user_a <= self.user_b:
+            return self
+        return Friendship(self.user_b, self.user_a)
+
+    def key(self) -> tuple[str, str]:
+        """Hashable undirected key for set membership."""
+        a, b = sorted((self.user_a, self.user_b))
+        return (a, b)
+
+
+@dataclass(slots=True)
+class DatasetStatistics:
+    """Basic corpus statistics in the shape of the paper's Table I."""
+
+    n_users: int = 0
+    n_events: int = 0
+    n_venues: int = 0
+    n_attendances: int = 0
+    n_friendships: int = 0
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def as_rows(self) -> list[tuple[str, int]]:
+        """Rows in Table I's order, ready for pretty-printing."""
+        return [
+            ("# of users", self.n_users),
+            ("# of events", self.n_events),
+            ("# of venues", self.n_venues),
+            ("# of historical attendances", self.n_attendances),
+            ("# of friendship links", self.n_friendships),
+        ]

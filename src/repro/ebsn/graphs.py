@@ -1,0 +1,399 @@
+"""The five bipartite graphs of Definitions 2-6 and their builders.
+
+GEM never sees raw entities — it trains on a :class:`GraphBundle` holding
+the five weighted bipartite graphs:
+
+* ``user_event``     (Definition 3): weight = rating if available, else 1;
+* ``user_user``      (Definition 2): weight = 1 + |common events attended|;
+* ``event_location`` (Definition 4): weight = 1, via DBSCAN regions;
+* ``event_time``     (Definition 5): weight = 1, three time-scale edges;
+* ``event_word``     (Definition 6): weight = TF-IDF.
+
+Each graph's sides carry an :class:`EntityType` so that graphs sharing a
+node set (users appear in ``user_event`` and on both sides of
+``user_user``; events appear in four graphs) resolve to the *same*
+embedding matrix — that sharing is what lets the user-event graph act as
+the "bridge" between users and event content/context (Section II).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ebsn.network import EBSN
+from repro.ebsn.regions import RegionAssignment, assign_regions
+from repro.ebsn.text import Vocabulary, build_vocabulary, tfidf_corpus, tokenize
+from repro.ebsn.timeslots import N_TIME_SLOTS, time_slots
+
+
+class EntityType(enum.Enum):
+    """The five node types of the EBSN heterogeneous graph (Definition 1)."""
+
+    USER = "user"
+    EVENT = "event"
+    LOCATION = "location"
+    TIME = "time"
+    WORD = "word"
+
+
+@dataclass(slots=True)
+class BipartiteGraph:
+    """A weighted bipartite graph :math:`G_{AB}` stored as an edge list.
+
+    ``left``/``right`` are integer node indices into the embedding matrix
+    of ``left_type``/``right_type``; ``weights`` are the paper-defined edge
+    weights :math:`w_{ij}`.  The user-user graph is represented here too,
+    with ``left_type == right_type == USER`` (the paper notes it "can also
+    be treated as a bipartite graph").
+    """
+
+    name: str
+    left_type: EntityType
+    right_type: EntityType
+    n_left: int
+    n_right: int
+    left: np.ndarray
+    right: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.left = np.asarray(self.left, dtype=np.int64)
+        self.right = np.asarray(self.right, dtype=np.int64)
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        if not (self.left.shape == self.right.shape == self.weights.shape):
+            raise ValueError(
+                f"graph {self.name!r}: edge arrays must share shape, got "
+                f"{self.left.shape}, {self.right.shape}, {self.weights.shape}"
+            )
+        if self.left.ndim != 1:
+            raise ValueError(f"graph {self.name!r}: edge arrays must be 1-D")
+        if self.n_edges:
+            if self.left.min() < 0 or self.left.max() >= self.n_left:
+                raise ValueError(f"graph {self.name!r}: left index out of range")
+            if self.right.min() < 0 or self.right.max() >= self.n_right:
+                raise ValueError(f"graph {self.name!r}: right index out of range")
+            if np.any(self.weights <= 0):
+                raise ValueError(f"graph {self.name!r}: weights must be positive")
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.left.shape[0])
+
+    def degrees(self, side: str) -> np.ndarray:
+        """Weighted node degrees on ``side`` ('left' or 'right').
+
+        These feed the degree-based noise distribution
+        :math:`P_n(v) \\propto d_v^{0.75}`.
+        """
+        if side == "left":
+            deg = np.zeros(self.n_left, dtype=np.float64)
+            np.add.at(deg, self.left, self.weights)
+        elif side == "right":
+            deg = np.zeros(self.n_right, dtype=np.float64)
+            np.add.at(deg, self.right, self.weights)
+        else:
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        return deg
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        """Set of (left, right) pairs; used to avoid sampling observed edges."""
+        return set(zip(self.left.tolist(), self.right.tolist()))
+
+    def adjacency_left(self) -> list[set[int]]:
+        """Right-neighbour sets per left node (positive-edge exclusion)."""
+        adj: list[set[int]] = [set() for _ in range(self.n_left)]
+        for l, r in zip(self.left.tolist(), self.right.tolist()):
+            adj[l].add(r)
+        return adj
+
+    def adjacency_right(self) -> list[set[int]]:
+        """Left-neighbour sets per right node."""
+        adj: list[set[int]] = [set() for _ in range(self.n_right)]
+        for l, r in zip(self.left.tolist(), self.right.tolist()):
+            adj[r].add(l)
+        return adj
+
+
+#: Canonical graph names used throughout the library.
+USER_EVENT = "user_event"
+USER_USER = "user_user"
+EVENT_LOCATION = "event_location"
+EVENT_TIME = "event_time"
+EVENT_WORD = "event_word"
+
+ALL_GRAPH_NAMES = (USER_EVENT, USER_USER, EVENT_LOCATION, EVENT_TIME, EVENT_WORD)
+
+
+@dataclass(slots=True)
+class GraphBundle:
+    """The five bipartite graphs plus the shared entity-count table.
+
+    ``entity_counts`` defines one embedding matrix per :class:`EntityType`;
+    every graph's side indexes into those shared matrices.
+    """
+
+    graphs: dict[str, BipartiteGraph]
+    entity_counts: dict[EntityType, int]
+    regions: RegionAssignment | None = None
+    vocabulary: Vocabulary | None = None
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, graph in self.graphs.items():
+            for side_type, n_side in (
+                (graph.left_type, graph.n_left),
+                (graph.right_type, graph.n_right),
+            ):
+                declared = self.entity_counts.get(side_type)
+                if declared is None:
+                    raise ValueError(
+                        f"graph {name!r} uses {side_type} but entity_counts "
+                        "has no entry for it"
+                    )
+                if declared != n_side:
+                    raise ValueError(
+                        f"graph {name!r}: {side_type} side has {n_side} nodes "
+                        f"but entity_counts declares {declared}"
+                    )
+
+    def __getitem__(self, name: str) -> BipartiteGraph:
+        return self.graphs[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.graphs
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.graphs)
+
+    def total_edges(self) -> int:
+        """Total edge count across all graphs in the bundle."""
+        return sum(g.n_edges for g in self.graphs.values())
+
+    def edge_counts(self) -> dict[str, int]:
+        """Edge count per graph — Algorithm 2 samples graphs proportionally
+        to these."""
+        return {name: g.n_edges for name, g in self.graphs.items()}
+
+
+# ----------------------------------------------------------------------
+# Individual graph builders
+# ----------------------------------------------------------------------
+def build_user_event_graph(
+    ebsn: EBSN,
+    *,
+    allowed_events: set[int] | None = None,
+) -> BipartiteGraph:
+    """User-event graph (Definition 3).
+
+    ``allowed_events`` restricts edges to training events — the paper
+    removes test events' attendance records so they are genuinely
+    cold-start; the events themselves still exist as nodes.
+    """
+    left: list[int] = []
+    right: list[int] = []
+    weights: list[float] = []
+    for att in ebsn.attendances:
+        xi = ebsn.event_index[att.event_id]
+        if allowed_events is not None and xi not in allowed_events:
+            continue
+        left.append(ebsn.user_index[att.user_id])
+        right.append(xi)
+        weights.append(att.rating if att.rating is not None else 1.0)
+    return BipartiteGraph(
+        name=USER_EVENT,
+        left_type=EntityType.USER,
+        right_type=EntityType.EVENT,
+        n_left=ebsn.n_users,
+        n_right=ebsn.n_events,
+        left=np.array(left, dtype=np.int64),
+        right=np.array(right, dtype=np.int64),
+        weights=np.array(weights, dtype=np.float64),
+    )
+
+
+def build_user_user_graph(
+    ebsn: EBSN,
+    *,
+    allowed_events: set[int] | None = None,
+    excluded_pairs: set[tuple[int, int]] | None = None,
+) -> BipartiteGraph:
+    """User-user graph (Definition 2): weight = 1 + |common events|.
+
+    ``allowed_events`` restricts the common-event count to training events
+    (no test leakage through edge weights).  ``excluded_pairs`` removes
+    friendship links entirely — scenario 2 of the evaluation (potential
+    friends) deletes the test triples' links before training.
+    """
+    left: list[int] = []
+    right: list[int] = []
+    weights: list[float] = []
+    for a, b in ebsn.friendship_pairs():
+        if excluded_pairs is not None and (min(a, b), max(a, b)) in excluded_pairs:
+            continue
+        common = ebsn.common_events(a, b)
+        if allowed_events is not None:
+            common = common & allowed_events
+        left.append(a)
+        right.append(b)
+        weights.append(1.0 + len(common))
+    return BipartiteGraph(
+        name=USER_USER,
+        left_type=EntityType.USER,
+        right_type=EntityType.USER,
+        n_left=ebsn.n_users,
+        n_right=ebsn.n_users,
+        left=np.array(left, dtype=np.int64),
+        right=np.array(right, dtype=np.int64),
+        weights=np.array(weights, dtype=np.float64),
+    )
+
+
+def build_event_location_graph(
+    ebsn: EBSN, regions: RegionAssignment
+) -> BipartiteGraph:
+    """Event-location graph (Definition 4): one unit-weight edge per event,
+    connecting it to the DBSCAN region of its venue."""
+    region_of_venue = regions.as_dict()
+    left = np.arange(ebsn.n_events, dtype=np.int64)
+    right = np.array(
+        [region_of_venue[e.venue_id] for e in ebsn.events], dtype=np.int64
+    )
+    weights = np.ones(ebsn.n_events, dtype=np.float64)
+    return BipartiteGraph(
+        name=EVENT_LOCATION,
+        left_type=EntityType.EVENT,
+        right_type=EntityType.LOCATION,
+        n_left=ebsn.n_events,
+        n_right=regions.n_regions,
+        left=left,
+        right=right,
+        weights=weights,
+    )
+
+
+def build_event_time_graph(ebsn: EBSN) -> BipartiteGraph:
+    """Event-time graph (Definition 5): three unit-weight edges per event,
+    one per time granularity (hour, day-of-week, weekday/weekend)."""
+    left: list[int] = []
+    right: list[int] = []
+    for xi, event in enumerate(ebsn.events):
+        for slot in time_slots(event.start_time):
+            left.append(xi)
+            right.append(slot)
+    return BipartiteGraph(
+        name=EVENT_TIME,
+        left_type=EntityType.EVENT,
+        right_type=EntityType.TIME,
+        n_left=ebsn.n_events,
+        n_right=N_TIME_SLOTS,
+        left=np.array(left, dtype=np.int64),
+        right=np.array(right, dtype=np.int64),
+        weights=np.ones(len(left), dtype=np.float64),
+    )
+
+
+def build_event_word_graph(
+    ebsn: EBSN,
+    *,
+    vocabulary: Vocabulary | None = None,
+    min_doc_freq: int = 1,
+    max_doc_ratio: float = 1.0,
+    max_vocab_size: int | None = None,
+) -> tuple[BipartiteGraph, Vocabulary]:
+    """Event-word graph (Definition 6) with TF-IDF weights.
+
+    Returns the graph together with the vocabulary used (built from the
+    event descriptions unless one is supplied).
+    """
+    documents = [tokenize(e.description) for e in ebsn.events]
+    if vocabulary is None:
+        vocabulary = build_vocabulary(
+            documents,
+            min_doc_freq=min_doc_freq,
+            max_doc_ratio=max_doc_ratio,
+            max_size=max_vocab_size,
+        )
+    weights_per_doc = tfidf_corpus(documents, vocabulary)
+
+    left: list[int] = []
+    right: list[int] = []
+    weights: list[float] = []
+    for xi, doc_weights in enumerate(weights_per_doc):
+        for word_id, weight in sorted(doc_weights.items()):
+            left.append(xi)
+            right.append(word_id)
+            weights.append(weight)
+    graph = BipartiteGraph(
+        name=EVENT_WORD,
+        left_type=EntityType.EVENT,
+        right_type=EntityType.WORD,
+        n_left=ebsn.n_events,
+        n_right=len(vocabulary),
+        left=np.array(left, dtype=np.int64),
+        right=np.array(right, dtype=np.int64),
+        weights=np.array(weights, dtype=np.float64),
+    )
+    return graph, vocabulary
+
+
+def build_graph_bundle(
+    ebsn: EBSN,
+    *,
+    allowed_events: set[int] | None = None,
+    excluded_friend_pairs: set[tuple[int, int]] | None = None,
+    regions: RegionAssignment | None = None,
+    region_eps_km: float = 1.0,
+    region_min_samples: int = 3,
+    vocabulary: Vocabulary | None = None,
+    min_doc_freq: int = 2,
+    max_doc_ratio: float = 0.8,
+    max_vocab_size: int | None = None,
+) -> GraphBundle:
+    """Build all five bipartite graphs from an EBSN.
+
+    This is the standard entry point: the splitter calls it with
+    ``allowed_events`` = training events (cold-start protocol) and, for
+    evaluation scenario 2, ``excluded_friend_pairs`` = the test triples'
+    social links.  Content/location/time graphs always cover *all* events —
+    that is precisely how cold-start events receive embeddings.
+    """
+    if regions is None:
+        regions = assign_regions(
+            ebsn.venues, eps_km=region_eps_km, min_samples=region_min_samples
+        )
+    event_word, vocabulary = build_event_word_graph(
+        ebsn,
+        vocabulary=vocabulary,
+        min_doc_freq=min_doc_freq,
+        max_doc_ratio=max_doc_ratio,
+        max_vocab_size=max_vocab_size,
+    )
+    graphs = {
+        USER_EVENT: build_user_event_graph(ebsn, allowed_events=allowed_events),
+        USER_USER: build_user_user_graph(
+            ebsn,
+            allowed_events=allowed_events,
+            excluded_pairs=excluded_friend_pairs,
+        ),
+        EVENT_LOCATION: build_event_location_graph(ebsn, regions),
+        EVENT_TIME: build_event_time_graph(ebsn),
+        EVENT_WORD: event_word,
+    }
+    entity_counts = {
+        EntityType.USER: ebsn.n_users,
+        EntityType.EVENT: ebsn.n_events,
+        EntityType.LOCATION: regions.n_regions,
+        EntityType.TIME: N_TIME_SLOTS,
+        EntityType.WORD: len(vocabulary),
+    }
+    return GraphBundle(
+        graphs=graphs,
+        entity_counts=entity_counts,
+        regions=regions,
+        vocabulary=vocabulary,
+        metadata={"ebsn_name": ebsn.name},
+    )

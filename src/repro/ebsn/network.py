@@ -1,0 +1,214 @@
+"""The EBSN container: indexed users, events, venues, attendance, friendships.
+
+This is the heterogeneous graph :math:`\\mathcal{G}` of Definition 1.  It
+validates referential integrity on construction, assigns each entity a
+dense integer index (embedding-matrix row), and exposes the adjacency
+views (``events_of_user``, ``users_of_event``, friend sets) that every
+downstream component — graph builders, splitters, baselines, evaluators —
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ebsn.entities import (
+    Attendance,
+    DatasetStatistics,
+    Event,
+    Friendship,
+    User,
+    Venue,
+)
+
+
+@dataclass
+class EBSN:
+    """An event-based social network (Definition 1).
+
+    Construction validates that every attendance/friendship/venue reference
+    resolves, deduplicates attendance and friendship records, and builds
+    dense integer indexes.  The object is append-only after construction;
+    derived structures (splits, graphs) never mutate it.
+    """
+
+    users: list[User]
+    events: list[Event]
+    venues: list[Venue]
+    attendances: list[Attendance]
+    friendships: list[Friendship]
+    name: str = "ebsn"
+
+    # Derived indexes (populated in __post_init__).
+    user_index: dict[str, int] = field(init=False, repr=False)
+    event_index: dict[str, int] = field(init=False, repr=False)
+    venue_index: dict[str, int] = field(init=False, repr=False)
+    _events_of_user: list[set[int]] = field(init=False, repr=False)
+    _users_of_event: list[set[int]] = field(init=False, repr=False)
+    _friends_of_user: list[set[int]] = field(init=False, repr=False)
+    _friendship_keys: set[tuple[int, int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.user_index = self._build_index([u.user_id for u in self.users], "user")
+        self.event_index = self._build_index([e.event_id for e in self.events], "event")
+        self.venue_index = self._build_index([v.venue_id for v in self.venues], "venue")
+
+        for event in self.events:
+            if event.venue_id not in self.venue_index:
+                raise ValueError(
+                    f"event {event.event_id!r} references unknown venue "
+                    f"{event.venue_id!r}"
+                )
+
+        # Deduplicate attendances on (user, event), keeping the first record.
+        seen_att: set[tuple[int, int]] = set()
+        deduped: list[Attendance] = []
+        self._events_of_user = [set() for _ in self.users]
+        self._users_of_event = [set() for _ in self.events]
+        for att in self.attendances:
+            ui = self.user_index.get(att.user_id)
+            xi = self.event_index.get(att.event_id)
+            if ui is None:
+                raise ValueError(f"attendance references unknown user {att.user_id!r}")
+            if xi is None:
+                raise ValueError(f"attendance references unknown event {att.event_id!r}")
+            if (ui, xi) in seen_att:
+                continue
+            seen_att.add((ui, xi))
+            deduped.append(att)
+            self._events_of_user[ui].add(xi)
+            self._users_of_event[xi].add(ui)
+        self.attendances = deduped
+
+        # Deduplicate friendships as undirected pairs.
+        self._friends_of_user = [set() for _ in self.users]
+        self._friendship_keys = set()
+        unique_friends: list[Friendship] = []
+        for fr in self.friendships:
+            ai = self.user_index.get(fr.user_a)
+            bi = self.user_index.get(fr.user_b)
+            if ai is None or bi is None:
+                missing = fr.user_a if ai is None else fr.user_b
+                raise ValueError(f"friendship references unknown user {missing!r}")
+            key = (min(ai, bi), max(ai, bi))
+            if key in self._friendship_keys:
+                continue
+            self._friendship_keys.add(key)
+            unique_friends.append(fr.normalized())
+            self._friends_of_user[ai].add(bi)
+            self._friends_of_user[bi].add(ai)
+        self.friendships = unique_friends
+
+    @staticmethod
+    def _build_index(ids: list[str], kind: str) -> dict[str, int]:
+        index: dict[str, int] = {}
+        for i, entity_id in enumerate(ids):
+            if entity_id in index:
+                raise ValueError(f"duplicate {kind} id: {entity_id!r}")
+            index[entity_id] = i
+        return index
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def n_venues(self) -> int:
+        return len(self.venues)
+
+    # ------------------------------------------------------------------
+    # Adjacency views (integer indices)
+    # ------------------------------------------------------------------
+    def events_of_user(self, user_idx: int) -> frozenset[int]:
+        """Indices of events attended by user ``user_idx`` (paper's X_u)."""
+        return frozenset(self._events_of_user[user_idx])
+
+    def users_of_event(self, event_idx: int) -> frozenset[int]:
+        """Indices of users attending event ``event_idx`` (paper's U_x)."""
+        return frozenset(self._users_of_event[event_idx])
+
+    def friends_of(self, user_idx: int) -> frozenset[int]:
+        """Indices of friends of user ``user_idx``."""
+        return frozenset(self._friends_of_user[user_idx])
+
+    def are_friends(self, user_a: int, user_b: int) -> bool:
+        """Whether an undirected friendship edge exists between two users."""
+        return (min(user_a, user_b), max(user_a, user_b)) in self._friendship_keys
+
+    def friendship_pairs(self) -> list[tuple[int, int]]:
+        """All undirected friendship edges as sorted index pairs."""
+        return sorted(self._friendship_keys)
+
+    def common_events(self, user_a: int, user_b: int) -> frozenset[int]:
+        """Events both users attended; |common| feeds the U-U edge weight."""
+        return frozenset(self._events_of_user[user_a] & self._events_of_user[user_b])
+
+    # ------------------------------------------------------------------
+    # Event attribute vectors (for graph builders and the generator)
+    # ------------------------------------------------------------------
+    def event_start_times(self) -> np.ndarray:
+        """Start times of all events (POSIX seconds), in event-index order."""
+        return np.array([e.start_time for e in self.events], dtype=np.float64)
+
+    def event_venue_indices(self) -> np.ndarray:
+        """Venue index of each event, in event-index order."""
+        return np.array(
+            [self.venue_index[e.venue_id] for e in self.events], dtype=np.int64
+        )
+
+    def events_sorted_by_time(self) -> list[int]:
+        """Event indices sorted chronologically (ties broken by index).
+
+        This is the ordering the paper's 7:3 chronological split uses.
+        """
+        times = self.event_start_times()
+        return list(np.lexsort((np.arange(self.n_events), times)))
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def statistics(self) -> DatasetStatistics:
+        """Basic statistics in the shape of the paper's Table I."""
+        return DatasetStatistics(
+            n_users=self.n_users,
+            n_events=self.n_events,
+            n_venues=self.n_venues,
+            n_attendances=len(self.attendances),
+            n_friendships=len(self.friendships),
+        )
+
+    def filter_users_by_min_events(self, min_events: int) -> "EBSN":
+        """Return a new EBSN without users attending fewer than ``min_events``.
+
+        Mirrors the paper's preprocessing: "we filter out users who attended
+        less than 5 events to remove noisy data".
+        """
+        if min_events < 0:
+            raise ValueError(f"min_events must be >= 0, got {min_events}")
+        kept = {
+            u.user_id
+            for i, u in enumerate(self.users)
+            if len(self._events_of_user[i]) >= min_events
+        }
+        users = [u for u in self.users if u.user_id in kept]
+        attendances = [a for a in self.attendances if a.user_id in kept]
+        friendships = [
+            f for f in self.friendships if f.user_a in kept and f.user_b in kept
+        ]
+        return EBSN(
+            users=users,
+            events=list(self.events),
+            venues=list(self.venues),
+            attendances=attendances,
+            friendships=friendships,
+            name=self.name,
+        )

@@ -1,0 +1,152 @@
+"""Text pipeline for event descriptions (Definition 6).
+
+The event-content graph links each event to the words of its description
+:math:`\\mathcal{D}_x`, weighted by "the standard TF-IDF".  This module
+provides the tokeniser, a vocabulary with frequency-based pruning, and the
+TF-IDF weighting used to build those edges.
+
+TF-IDF convention (the classic one):
+    ``tfidf(x, c) = tf(x, c) * log(N / df(c))``
+with raw term counts for ``tf``, corpus size ``N`` and document frequency
+``df``.  Words appearing in every document get weight 0 and the edge is
+dropped — they carry no discriminative content.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+
+#: Compact English stopword list — enough to keep synthetic and scraped
+#: descriptions from flooding the vocabulary with glue words.
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a an and are as at be but by for from has have he her his i if in into is
+    it its me my no not of on or our she so that the their them then there
+    they this to was we were what when where which who will with you your
+    about after all also am any been before being can could did do does down
+    each few had him how just more most other out over own s t than too under
+    until up very
+    """.split()
+)
+
+
+def tokenize(text: str, *, stopwords: frozenset[str] = STOPWORDS) -> list[str]:
+    """Lowercase, extract alphanumeric tokens, drop stopwords and 1-char noise."""
+    if not text:
+        return []
+    tokens = _TOKEN_RE.findall(text.lower())
+    return [t for t in tokens if len(t) > 1 and t not in stopwords]
+
+
+@dataclass(slots=True)
+class Vocabulary:
+    """Bidirectional word <-> integer-id mapping with document frequencies."""
+
+    word_to_id: dict[str, int] = field(default_factory=dict)
+    id_to_word: list[str] = field(default_factory=list)
+    doc_freq: list[int] = field(default_factory=list)
+    n_documents: int = 0
+
+    def __len__(self) -> int:
+        return len(self.id_to_word)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self.word_to_id
+
+    def id_of(self, word: str) -> int:
+        """Integer id of ``word``; raises ``KeyError`` if out-of-vocabulary."""
+        return self.word_to_id[word]
+
+    def word_of(self, word_id: int) -> str:
+        """Word for an integer id."""
+        return self.id_to_word[word_id]
+
+    def idf(self, word_id: int) -> float:
+        """Inverse document frequency ``log(N / df)`` for a word id."""
+        df = self.doc_freq[word_id]
+        if df <= 0:
+            raise ValueError(f"word id {word_id} has no document frequency")
+        return math.log(self.n_documents / df)
+
+
+def build_vocabulary(
+    documents: list[list[str]],
+    *,
+    min_doc_freq: int = 1,
+    max_doc_ratio: float = 1.0,
+    max_size: int | None = None,
+) -> Vocabulary:
+    """Build a vocabulary from tokenised documents.
+
+    Parameters
+    ----------
+    documents:
+        Tokenised documents (output of :func:`tokenize` per event).
+    min_doc_freq:
+        Drop words appearing in fewer documents than this.
+    max_doc_ratio:
+        Drop words appearing in more than this fraction of documents
+        (1.0 keeps everything).
+    max_size:
+        Keep only the ``max_size`` most document-frequent surviving words.
+    """
+    if min_doc_freq < 1:
+        raise ValueError(f"min_doc_freq must be >= 1, got {min_doc_freq}")
+    if not 0.0 < max_doc_ratio <= 1.0:
+        raise ValueError(f"max_doc_ratio must be in (0, 1], got {max_doc_ratio}")
+
+    n_docs = len(documents)
+    df: Counter[str] = Counter()
+    for doc in documents:
+        df.update(set(doc))
+
+    max_df = max_doc_ratio * n_docs
+    kept = [
+        (w, f)
+        for w, f in df.items()
+        if f >= min_doc_freq and f <= max_df
+    ]
+    # Deterministic order: by descending document frequency, then lexical.
+    kept.sort(key=lambda wf: (-wf[1], wf[0]))
+    if max_size is not None:
+        kept = kept[:max_size]
+
+    vocab = Vocabulary(n_documents=n_docs)
+    for word, freq in kept:
+        vocab.word_to_id[word] = len(vocab.id_to_word)
+        vocab.id_to_word.append(word)
+        vocab.doc_freq.append(freq)
+    return vocab
+
+
+def tfidf_document(
+    tokens: list[str], vocab: Vocabulary
+) -> dict[int, float]:
+    """TF-IDF weights ``word_id -> weight`` for a single tokenised document.
+
+    Out-of-vocabulary tokens and zero-IDF words (df == N) are dropped, so
+    the returned dict directly defines the event's event-word edges.
+    """
+    counts: Counter[int] = Counter()
+    for token in tokens:
+        word_id = vocab.word_to_id.get(token)
+        if word_id is not None:
+            counts[word_id] += 1
+    weights: dict[int, float] = {}
+    for word_id, tf in counts.items():
+        idf = vocab.idf(word_id)
+        if idf > 0.0:
+            weights[word_id] = tf * idf
+    return weights
+
+
+def tfidf_corpus(
+    documents: list[list[str]], vocab: Vocabulary
+) -> list[dict[int, float]]:
+    """Per-document TF-IDF maps for a whole corpus (one map per event)."""
+    return [tfidf_document(doc, vocab) for doc in documents]

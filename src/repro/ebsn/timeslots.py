@@ -1,0 +1,90 @@
+"""The paper's 33 discrete time slots (Section II).
+
+Continuous event start times are discretised into three simultaneous
+granularities so the event-time bipartite graph (Definition 5) can capture
+multi-scale temporal periodicity:
+
+* 24 *hour-of-day* slots  (ids ``0..23``),
+* 7  *day-of-week* slots  (ids ``24..30``, Monday first),
+* 2  *weekday/weekend* slots (ids ``31`` weekday, ``32`` weekend).
+
+Every event is linked to exactly three time nodes — e.g. the paper's
+example "2017-06-29 18:00" maps to {18:00, Thursday, weekday}.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+N_HOUR_SLOTS = 24
+N_DAY_SLOTS = 7
+N_DAYTYPE_SLOTS = 2
+N_TIME_SLOTS = N_HOUR_SLOTS + N_DAY_SLOTS + N_DAYTYPE_SLOTS  # 33
+
+HOUR_SLOT_OFFSET = 0
+DAY_SLOT_OFFSET = N_HOUR_SLOTS  # 24
+DAYTYPE_SLOT_OFFSET = N_HOUR_SLOTS + N_DAY_SLOTS  # 31
+
+WEEKDAY_SLOT = DAYTYPE_SLOT_OFFSET + 0  # 31
+WEEKEND_SLOT = DAYTYPE_SLOT_OFFSET + 1  # 32
+
+_DAY_NAMES = (
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
+)
+
+
+def _to_datetime(timestamp: float) -> _dt.datetime:
+    """Convert POSIX seconds to a naive UTC datetime."""
+    return _dt.datetime.fromtimestamp(float(timestamp), tz=_dt.timezone.utc)
+
+
+def hour_slot(timestamp: float) -> int:
+    """Slot id of the event's hour of day (``0..23``)."""
+    return HOUR_SLOT_OFFSET + _to_datetime(timestamp).hour
+
+
+def day_slot(timestamp: float) -> int:
+    """Slot id of the event's day of week (``24..30``; 24 = Monday)."""
+    return DAY_SLOT_OFFSET + _to_datetime(timestamp).weekday()
+
+
+def daytype_slot(timestamp: float) -> int:
+    """Slot id 31 (weekday, Mon-Fri) or 32 (weekend, Sat-Sun)."""
+    return WEEKEND_SLOT if _to_datetime(timestamp).weekday() >= 5 else WEEKDAY_SLOT
+
+
+def time_slots(timestamp: float) -> tuple[int, int, int]:
+    """All three slot ids for an event start time.
+
+    Returns ``(hour_slot, day_slot, daytype_slot)`` — the three time nodes
+    an event is linked to in the event-time graph (Definition 5).
+    """
+    dt = _to_datetime(timestamp)
+    weekday = dt.weekday()
+    return (
+        HOUR_SLOT_OFFSET + dt.hour,
+        DAY_SLOT_OFFSET + weekday,
+        WEEKEND_SLOT if weekday >= 5 else WEEKDAY_SLOT,
+    )
+
+
+def slot_name(slot_id: int) -> str:
+    """Human-readable name of a slot id (used in examples and debugging)."""
+    if not 0 <= slot_id < N_TIME_SLOTS:
+        raise ValueError(f"slot id out of range [0, {N_TIME_SLOTS}): {slot_id}")
+    if slot_id < DAY_SLOT_OFFSET:
+        return f"{slot_id:02d}:00"
+    if slot_id < DAYTYPE_SLOT_OFFSET:
+        return _DAY_NAMES[slot_id - DAY_SLOT_OFFSET]
+    return "weekday" if slot_id == WEEKDAY_SLOT else "weekend"
+
+
+def all_slot_names() -> list[str]:
+    """Names of all 33 slots, indexed by slot id."""
+    return [slot_name(i) for i in range(N_TIME_SLOTS)]

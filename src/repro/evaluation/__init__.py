@@ -1,0 +1,37 @@
+"""Evaluation protocols and metrics (Section V-B of the paper)."""
+
+from repro.evaluation.metrics import (
+    AccuracyAtN,
+    RankingMetrics,
+    approximation_ratio,
+    ndcg_at_n,
+    rank_of_positive,
+    reciprocal_rank,
+)
+from repro.evaluation.tuning import (
+    GridSearchResult,
+    evaluate_on_validation,
+    grid_search,
+)
+from repro.evaluation.protocol import (
+    DEFAULT_N_VALUES,
+    EvaluationResult,
+    evaluate_event_partner,
+    evaluate_event_recommendation,
+)
+
+__all__ = [
+    "AccuracyAtN",
+    "RankingMetrics",
+    "ndcg_at_n",
+    "reciprocal_rank",
+    "DEFAULT_N_VALUES",
+    "EvaluationResult",
+    "GridSearchResult",
+    "evaluate_on_validation",
+    "grid_search",
+    "approximation_ratio",
+    "evaluate_event_partner",
+    "evaluate_event_recommendation",
+    "rank_of_positive",
+]

@@ -1,0 +1,154 @@
+"""Evaluation metrics (Section V-B).
+
+The paper's effectiveness metric is Accuracy@n (Eqn 9): the hit ratio of
+the held-out positive among sampled negatives over all test cases — the
+Koren-style sampled top-n protocol of [2, 32].  The efficiency experiments
+additionally use the *approximation ratio*: accuracy in the pruned search
+space divided by accuracy in the full space (Fig 7b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def rank_of_positive(positive_score: float, negative_scores: np.ndarray) -> float:
+    """1-based rank of the positive among negatives.
+
+    Ties share a mid-rank (a tied score contributes 0.5), which keeps the
+    metric deterministic without biasing for or against the positive —
+    relevant for cold-start models whose untouched vectors can tie.
+    """
+    negative_scores = np.asarray(negative_scores, dtype=np.float64)
+    greater = int(np.sum(negative_scores > positive_score))
+    ties = int(np.sum(negative_scores == positive_score))
+    return 1.0 + greater + 0.5 * ties
+
+
+@dataclass(slots=True)
+class AccuracyAtN:
+    """Accumulator for Accuracy@n over a set of test cases (Eqn 9)."""
+
+    n_values: tuple[int, ...] = (1, 5, 10, 15, 20)
+    hits: dict[int, int] = field(default_factory=dict)
+    n_cases: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.n_values:
+            raise ValueError("n_values must be non-empty")
+        if any(n < 1 for n in self.n_values):
+            raise ValueError(f"all n must be >= 1, got {self.n_values}")
+        if not self.hits:
+            self.hits = {n: 0 for n in self.n_values}
+
+    def add_case(self, rank: float) -> None:
+        """Record one test case given the positive's rank."""
+        self.n_cases += 1
+        for n in self.n_values:
+            if rank <= n:
+                self.hits[n] += 1
+
+    def accuracy(self, n: int) -> float:
+        """Accuracy@n = #Hit@n / #cases (0 when no cases were recorded)."""
+        if n not in self.hits:
+            raise KeyError(f"n={n} was not tracked (tracked: {self.n_values})")
+        if self.n_cases == 0:
+            return 0.0
+        return self.hits[n] / self.n_cases
+
+    def as_dict(self) -> dict[int, float]:
+        """``{n: Accuracy@n}`` for all tracked n."""
+        return {n: self.accuracy(n) for n in self.n_values}
+
+    def merge(self, other: "AccuracyAtN") -> "AccuracyAtN":
+        """Combine two accumulators (parallel evaluation shards)."""
+        if self.n_values != other.n_values:
+            raise ValueError("cannot merge accumulators with different n_values")
+        merged = AccuracyAtN(n_values=self.n_values)
+        merged.n_cases = self.n_cases + other.n_cases
+        merged.hits = {
+            n: self.hits[n] + other.hits[n] for n in self.n_values
+        }
+        return merged
+
+
+def reciprocal_rank(rank: float) -> float:
+    """1/rank — the per-case contribution to MRR.
+
+    Accepts the (possibly mid-tie, possibly infinite) ranks produced by
+    :func:`rank_of_positive`; an unrecoverable miss contributes 0.
+    """
+    if rank < 1.0:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+    if rank == float("inf"):
+        return 0.0
+    return 1.0 / rank
+
+
+def ndcg_at_n(rank: float, n: int) -> float:
+    """Per-case NDCG@n with a single relevant item: ``1/log2(1+rank)`` if
+    the positive landed in the top-n, else 0.
+
+    With one relevant item per case the ideal DCG is 1, so this *is* the
+    normalised value.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if rank < 1.0:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+    if rank > n:
+        return 0.0
+    return 1.0 / np.log2(1.0 + rank)
+
+
+@dataclass(slots=True)
+class RankingMetrics:
+    """Accumulator for MRR and NDCG@n alongside Accuracy@n.
+
+    The paper reports Accuracy@n only; MRR/NDCG are standard companions a
+    downstream user of the library will want, computed from the same
+    per-case ranks.
+    """
+
+    n_values: tuple[int, ...] = (5, 10, 20)
+    _rr_sum: float = 0.0
+    _ndcg_sums: dict[int, float] = field(default_factory=dict)
+    n_cases: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.n_values or any(n < 1 for n in self.n_values):
+            raise ValueError(f"invalid n_values: {self.n_values}")
+        if not self._ndcg_sums:
+            self._ndcg_sums = {n: 0.0 for n in self.n_values}
+
+    def add_case(self, rank: float) -> None:
+        """Record one test case given the positive's rank."""
+        self.n_cases += 1
+        self._rr_sum += reciprocal_rank(rank)
+        for n in self.n_values:
+            self._ndcg_sums[n] += ndcg_at_n(rank, n)
+
+    @property
+    def mrr(self) -> float:
+        """Mean reciprocal rank over the recorded cases."""
+        return self._rr_sum / self.n_cases if self.n_cases else 0.0
+
+    def ndcg(self, n: int) -> float:
+        """Mean NDCG@n over the recorded cases."""
+        if n not in self._ndcg_sums:
+            raise KeyError(f"n={n} was not tracked (tracked: {self.n_values})")
+        return self._ndcg_sums[n] / self.n_cases if self.n_cases else 0.0
+
+
+def approximation_ratio(pruned_accuracy: float, full_accuracy: float) -> float:
+    """Fig 7b's metric: pruned-space accuracy / full-space accuracy.
+
+    Defined as 1.0 when the full-space accuracy is zero (nothing to lose).
+    """
+    if pruned_accuracy < 0 or full_accuracy < 0:
+        raise ValueError("accuracies must be non-negative")
+    if full_accuracy == 0.0:
+        return 1.0
+    return pruned_accuracy / full_accuracy

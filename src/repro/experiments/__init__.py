@@ -1,0 +1,45 @@
+"""Experiment runners — one per table/figure of the paper's Section V.
+
+Each module exposes ``run_*`` returning a structured result with a
+``format_table()`` renderer, and is runnable as a script.  The
+:mod:`repro.experiments.__main__` driver regenerates everything in
+sequence.  See DESIGN.md §4 for the experiment index.
+"""
+
+from repro.experiments.ablation_graphs import run_graph_ablation
+from repro.experiments.context import (
+    EVENT_MODELS,
+    PARTNER_MODELS,
+    ExperimentContext,
+)
+from repro.experiments.convergence import (
+    run_convergence,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.effectiveness import run_fig3, run_fig4, run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.table1 import run as run_table1
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+
+__all__ = [
+    "EVENT_MODELS",
+    "PARTNER_MODELS",
+    "ExperimentContext",
+    "run_convergence",
+    "run_graph_ablation",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+]

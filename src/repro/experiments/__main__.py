@@ -1,0 +1,86 @@
+"""Regenerate every table and figure: ``python -m repro.experiments``.
+
+Accepts an optional preset name (default ``beijing-small``) and runs the
+full Section V suite on one shared context, printing each result as an
+aligned text table.  A complete run trains ~20 model configurations;
+expect several minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentContext,
+    run_convergence,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_graph_ablation,
+    run_table1,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate every table/figure of the ICDE'18 paper.",
+    )
+    parser.add_argument("--preset", default="beijing-small")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--dim", type=int, default=64)
+    parser.add_argument("--samples", type=int, default=3_000_000)
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="subset of experiment ids, e.g. fig3 table6",
+    )
+    args = parser.parse_args(argv)
+
+    ctx = ExperimentContext(
+        preset=args.preset,
+        seed=args.seed,
+        dim=args.dim,
+        n_samples=args.samples,
+    )
+
+    def convergence_pair():
+        table2, table3 = run_convergence(ctx)
+        return f"{table2.format_table()}\n\n{table3.format_table()}"
+
+    experiments = {
+        "table1": lambda: run_table1().format_table(),
+        "fig3": lambda: run_fig3(ctx).format_table(),
+        "fig4": lambda: run_fig4(ctx).format_table(),
+        "fig5": lambda: run_fig5(ctx).format_table(),
+        "table2+3": convergence_pair,
+        "table4": lambda: run_table4(ctx).format_table(),
+        "table5": lambda: run_table5(ctx).format_table(),
+        "fig6": lambda: run_fig6(ctx).format_table(),
+        "table6": lambda: run_table6(ctx).format_table(),
+        "fig7": lambda: run_fig7(ctx).format_table(),
+        "ablation-graphs": lambda: run_graph_ablation(ctx).format_table(),
+    }
+    selected = args.only or list(experiments)
+    unknown = [k for k in selected if k not in experiments]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}")
+
+    for key in selected:
+        start = time.perf_counter()
+        print(f"=== {key} ===")
+        print(experiments[key]())
+        print(f"[{key} took {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Brute-force online recommendation (the paper's GEM-BF / naive method).
+
+Scores every candidate event-partner point against the query and takes the
+top-n — O(|candidates| · (2K+1)) per query.  This is both the efficiency
+baseline of Table VI and the correctness oracle the TA implementation is
+tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.online.ta import RetrievalResult
+from repro.online.transform import PairSpace, query_vector
+
+
+class BruteForceIndex:
+    """Full-scan retrieval over a transformed pair space."""
+
+    def __init__(self, space: PairSpace):
+        self.space = space
+
+    @property
+    def n_candidates(self) -> int:
+        return self.space.n_pairs
+
+    def query(
+        self,
+        user_vector: np.ndarray,
+        n: int,
+        *,
+        exclude_partner: int | None = None,
+    ) -> RetrievalResult:
+        """Exact top-n by scoring all candidates."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        space = self.space
+        q = query_vector(user_vector)
+        if q.shape[0] != space.dim:
+            raise ValueError(
+                f"query dim {q.shape[0]} != candidate dim {space.dim}"
+            )
+        if space.n_pairs == 0:
+            return RetrievalResult(
+                pair_indices=np.empty(0, dtype=np.int64),
+                scores=np.empty(0, dtype=np.float64),
+                n_examined=0,
+                n_sorted_accesses=0,
+                fraction_examined=0.0,
+            )
+
+        scores = space.points @ q
+        if exclude_partner is not None:
+            scores = np.where(
+                space.partner_ids == exclude_partner, -np.inf, scores
+            )
+        k = min(n, scores.shape[0])
+        top = np.argpartition(-scores, k - 1)[:k]
+        order = top[np.lexsort((top, -scores[top]))]
+        order = order[np.isfinite(scores[order])]
+        return RetrievalResult(
+            pair_indices=order.astype(np.int64),
+            scores=scores[order].astype(np.float64),
+            n_examined=space.n_pairs,
+            n_sorted_accesses=0,
+            fraction_examined=1.0,
+        )

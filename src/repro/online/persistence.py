@@ -1,0 +1,110 @@
+"""Persistence for the offline-built online recommendation index.
+
+The Section IV pipeline is offline/online: the space transformation,
+pruning and per-dimension sorted lists are computed ahead of time, the
+query path only reads them.  A deployed service therefore wants to build
+the index once (e.g. nightly, after folding in the day's new events) and
+ship it to serving replicas; these helpers round-trip a
+:class:`PairSpace` — and the recommender built on it — through a single
+``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.online.recommender import EventPartnerRecommender
+from repro.online.transform import PairSpace
+
+_FORMAT_KEY = "__pair_space_format__"
+_FORMAT_VERSION = 1
+
+
+def save_pair_space(space: PairSpace, path: "str | Path") -> Path:
+    """Serialise a pair space (points + pair identities) to ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        points=space.points,
+        partner_ids=space.partner_ids,
+        event_ids=space.event_ids,
+        **{_FORMAT_KEY: np.array([_FORMAT_VERSION])},
+    )
+    return path
+
+
+def load_pair_space(path: "str | Path") -> PairSpace:
+    """Load a pair space written by :func:`save_pair_space`."""
+    with np.load(Path(path)) as data:
+        if _FORMAT_KEY not in data.files:
+            raise ValueError(f"{path} is not a pair-space file")
+        version = int(data[_FORMAT_KEY][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported pair-space format {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        return PairSpace(
+            points=data["points"].copy(),
+            partner_ids=data["partner_ids"].copy(),
+            event_ids=data["event_ids"].copy(),
+        )
+
+
+def save_recommender(
+    recommender: EventPartnerRecommender, path: "str | Path"
+) -> Path:
+    """Serialise a built recommender (vectors + candidates + config)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    config = {
+        "method": recommender.method,
+        "top_k_events": recommender.top_k_events,
+        "format_version": _FORMAT_VERSION,
+    }
+    np.savez_compressed(
+        path,
+        user_vectors=recommender.user_vectors,
+        event_vectors=recommender.event_vectors,
+        candidate_events=recommender.candidate_events,
+        candidate_partners=recommender.candidate_partners,
+        config=np.frombuffer(json.dumps(config).encode("utf-8"), dtype=np.uint8),
+    )
+    return path
+
+
+def load_recommender(path: "str | Path") -> EventPartnerRecommender:
+    """Rebuild a recommender written by :func:`save_recommender`.
+
+    The sorted lists are recomputed on load (they are derived data);
+    queries are byte-for-byte identical to the original instance's.
+    """
+    with np.load(Path(path)) as data:
+        required = {
+            "user_vectors",
+            "event_vectors",
+            "candidate_events",
+            "candidate_partners",
+            "config",
+        }
+        if not required <= set(data.files):
+            raise ValueError(f"{path} is not a recommender file")
+        config = json.loads(bytes(data["config"].tobytes()).decode("utf-8"))
+        version = config.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported recommender format {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        return EventPartnerRecommender(
+            data["user_vectors"].copy(),
+            data["event_vectors"].copy(),
+            data["candidate_events"].copy(),
+            candidate_partners=data["candidate_partners"].copy(),
+            top_k_events=config["top_k_events"],
+            method=config["method"],
+        )

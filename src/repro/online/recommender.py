@@ -1,0 +1,121 @@
+"""End-to-end online event-partner recommender (Section IV assembled).
+
+Offline: take the trained model's event/user vectors, restrict to the
+candidate events (the *new* events — cold-start items are exactly what an
+online system serves) and candidate partners, optionally prune to top-k
+events per partner, transform into the 2K+1 space, and build the retrieval
+index (TA or brute force).
+
+Online: :meth:`recommend` maps a target user to the extended query
+vector and returns the top-n ``(event, partner, score)`` triples, never
+recommending the user as her own partner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.online.bruteforce import BruteForceIndex
+from repro.online.pruning import build_pruned_pair_space
+from repro.online.ta import RetrievalResult, ThresholdAlgorithmIndex
+from repro.online.transform import PairSpace, transform_all_pairs
+
+METHODS = ("ta", "bruteforce")
+
+
+@dataclass(slots=True)
+class Recommendation:
+    """One recommended event-partner pair."""
+
+    event: int
+    partner: int
+    score: float
+
+
+class EventPartnerRecommender:
+    """Offline-indexed, online-queried joint event-partner recommender.
+
+    Parameters
+    ----------
+    user_vectors, event_vectors:
+        The trained embedding matrices (GEM or any latent-factor model).
+    candidate_events:
+        Global event ids eligible for recommendation (e.g. upcoming/test
+        events).
+    candidate_partners:
+        Global user ids eligible as partners (default: everyone).
+    top_k_events:
+        Pruning level k: keep only each partner's k favourite candidate
+        events (``None`` = no pruning, the full cross product).
+    method:
+        ``"ta"`` (threshold algorithm) or ``"bruteforce"``.
+    """
+
+    def __init__(
+        self,
+        user_vectors: np.ndarray,
+        event_vectors: np.ndarray,
+        candidate_events: np.ndarray,
+        *,
+        candidate_partners: np.ndarray | None = None,
+        top_k_events: int | None = None,
+        method: str = "ta",
+    ):
+        if method not in METHODS:
+            raise ValueError(f"method must be one of {METHODS}, got {method!r}")
+        self.user_vectors = np.asarray(user_vectors, dtype=np.float64)
+        self.event_vectors = np.asarray(event_vectors, dtype=np.float64)
+        self.candidate_events = np.asarray(candidate_events, dtype=np.int64)
+        if self.candidate_events.size == 0:
+            raise ValueError("candidate_events must be non-empty")
+        if candidate_partners is None:
+            candidate_partners = np.arange(
+                self.user_vectors.shape[0], dtype=np.int64
+            )
+        self.candidate_partners = np.asarray(candidate_partners, dtype=np.int64)
+        self.method = method
+        self.top_k_events = top_k_events
+
+        ev = self.event_vectors[self.candidate_events]
+        pa = self.user_vectors[self.candidate_partners]
+        if top_k_events is not None:
+            self.space: PairSpace = build_pruned_pair_space(
+                ev,
+                pa,
+                top_k_events,
+                event_ids=self.candidate_events,
+                partner_ids=self.candidate_partners,
+            )
+        else:
+            self.space = transform_all_pairs(
+                ev,
+                pa,
+                event_ids=self.candidate_events,
+                partner_ids=self.candidate_partners,
+            )
+        self.index = (
+            ThresholdAlgorithmIndex(self.space)
+            if method == "ta"
+            else BruteForceIndex(self.space)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_candidate_pairs(self) -> int:
+        return self.space.n_pairs
+
+    def query(self, user: int, n: int) -> RetrievalResult:
+        """Raw retrieval result with access statistics (for benchmarks)."""
+        return self.index.query(
+            self.user_vectors[user], n, exclude_partner=int(user)
+        )
+
+    def recommend(self, user: int, n: int = 10) -> list[Recommendation]:
+        """Top-n event-partner recommendations for ``user``."""
+        result = self.query(user, n)
+        return [
+            Recommendation(event=e, partner=p, score=s)
+            for e, p, s in result.pairs(self.space)
+        ]

@@ -1,0 +1,18 @@
+"""Shared utilities: RNG normalisation, validation helpers, simple timers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+    require,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_positive",
+    "check_probability_vector",
+    "require",
+]

@@ -1,0 +1,46 @@
+"""Random-number-generator plumbing.
+
+All stochastic components in this library accept either an integer seed, a
+:class:`numpy.random.Generator`, or ``None`` and normalise it through
+:func:`ensure_rng`.  This keeps every experiment reproducible end-to-end:
+the experiment runners pass a single seed and derive independent child
+generators with :func:`spawn_rngs` where parallel components must not share
+a stream (e.g. Hogwild workers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an ``int`` seed, or an existing
+        generator (returned unchanged so callers can thread one stream
+        through a pipeline).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, int or numpy Generator, got {type(seed)!r}")
+
+
+def spawn_rngs(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    Used by the parallel trainer so each worker owns a private stream while
+    the whole run stays a deterministic function of the root seed.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,41 @@
+"""Tiny argument-validation helpers used across the library.
+
+These exist so constructors fail loudly at the API boundary with a clear
+message instead of deep inside NumPy with a shape error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float) -> None:
+    """Validate that a scalar parameter is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_fraction(name: str, value: float, *, inclusive: bool = False) -> None:
+    """Validate that ``value`` lies in ``(0, 1)`` (or ``[0, 1]`` if inclusive)."""
+    ok = 0.0 <= value <= 1.0 if inclusive else 0.0 < value < 1.0
+    if not ok:
+        bounds = "[0, 1]" if inclusive else "(0, 1)"
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+
+
+def check_probability_vector(name: str, p: np.ndarray, *, atol: float = 1e-6) -> None:
+    """Validate that ``p`` is a non-negative vector summing to one."""
+    p = np.asarray(p, dtype=np.float64)
+    if p.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {p.shape}")
+    if np.any(p < 0):
+        raise ValueError(f"{name} must be non-negative")
+    total = float(p.sum())
+    if not np.isclose(total, 1.0, atol=atol):
+        raise ValueError(f"{name} must sum to 1 (got {total})")

@@ -1,0 +1,47 @@
+"""Shared fixtures: a tiny synthetic EBSN, its split and training graphs.
+
+Session-scoped so the ~60-user dataset and its graph bundle are built once
+for the whole suite; tests must treat them as read-only (anything mutating
+should build its own copy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import chronological_split, make_dataset
+from repro.data.splits import DatasetSplit
+from repro.ebsn.graphs import GraphBundle
+from repro.ebsn.network import EBSN
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """(EBSN, ground truth) for the 'tiny' preset."""
+    return make_dataset("tiny", seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_ebsn(tiny_dataset) -> EBSN:
+    return tiny_dataset[0]
+
+
+@pytest.fixture(scope="session")
+def tiny_truth(tiny_dataset):
+    return tiny_dataset[1]
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_ebsn) -> DatasetSplit:
+    return chronological_split(tiny_ebsn)
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle(tiny_split) -> GraphBundle:
+    return tiny_split.training_bundle()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,54 @@
+"""Tests for the leave-one-graph-out ablation machinery."""
+
+import pytest
+
+from repro.ebsn.graphs import USER_EVENT, USER_USER
+from repro.experiments import ExperimentContext
+from repro.experiments.ablation_graphs import (
+    REMOVABLE_GRAPHS,
+    bundle_without,
+    run_graph_ablation,
+)
+
+
+class TestBundleWithout:
+    def test_removes_exactly_one_graph(self, tiny_bundle):
+        reduced = bundle_without(tiny_bundle, USER_USER)
+        assert USER_USER not in reduced.graphs
+        assert len(reduced.graphs) == len(tiny_bundle.graphs) - 1
+        assert reduced.entity_counts == tiny_bundle.entity_counts
+
+    def test_original_untouched(self, tiny_bundle):
+        bundle_without(tiny_bundle, "event_word")
+        assert "event_word" in tiny_bundle.graphs
+
+    def test_user_event_protected(self, tiny_bundle):
+        with pytest.raises(ValueError):
+            bundle_without(tiny_bundle, USER_EVENT)
+
+    def test_unknown_graph(self, tiny_bundle):
+        with pytest.raises(KeyError):
+            bundle_without(tiny_bundle, "event_weather")
+
+    def test_all_removable_names_exist(self, tiny_bundle):
+        for name in REMOVABLE_GRAPHS:
+            assert name in tiny_bundle.graphs
+
+
+class TestRunGraphAblation:
+    def test_micro_run_structure(self):
+        ctx = ExperimentContext(
+            preset="tiny",
+            seed=11,
+            dim=8,
+            n_samples=20_000,
+            max_event_cases=40,
+            max_partner_cases=20,
+        )
+        result = run_graph_ablation(ctx, removable=("event_word",))
+        assert set(result.event_acc) == {"full", "without event_word"}
+        for acc in (*result.event_acc.values(), *result.pair_acc.values()):
+            assert 0.0 <= acc <= 1.0
+        table = result.format_table()
+        assert "Leave-one-graph-out" in table
+        assert "without event_word" in table

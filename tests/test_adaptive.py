@@ -1,0 +1,148 @@
+"""Tests for the adaptive adversarial noise sampler (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveNoiseSampler,
+    ExactAdaptiveSampler,
+    default_refresh_interval,
+)
+
+
+def make_matrix(rng, n=50, k=8):
+    return np.abs(rng.normal(0.3, 0.2, size=(n, k))).astype(np.float32)
+
+
+class TestRefreshInterval:
+    def test_matches_n_log_n(self):
+        assert default_refresh_interval(100) == int(100 * np.log(100))
+
+    def test_small_graphs(self):
+        assert default_refresh_interval(1) == 1
+        assert default_refresh_interval(0) == 1
+
+
+class TestExactSampler:
+    def test_small_lambda_returns_top_scored_nodes(self, rng):
+        matrix = make_matrix(rng)
+        sampler = ExactAdaptiveSampler(matrix, lam=0.2)
+        context = matrix[0]
+        scores = matrix.astype(np.float64) @ context
+        top = int(np.argmax(scores))
+        out = sampler.sample(rng, 200, context_vector=context)
+        # With lambda=0.2 over 50 nodes, nearly all draws are rank 0.
+        assert (out == top).mean() > 0.9
+
+    def test_requires_context(self, rng):
+        sampler = ExactAdaptiveSampler(make_matrix(rng))
+        with pytest.raises(ValueError):
+            sampler.sample(rng, 5)
+
+    def test_candidate_restriction(self, rng):
+        matrix = make_matrix(rng)
+        cands = np.array([2, 5, 9])
+        sampler = ExactAdaptiveSampler(matrix, lam=5.0, candidates=cands)
+        out = sampler.sample(rng, 100, context_vector=matrix[0])
+        assert set(out.tolist()) <= set(cands.tolist())
+
+    def test_batch_matches_per_row_semantics(self, rng):
+        matrix = make_matrix(rng)
+        sampler = ExactAdaptiveSampler(matrix, lam=3.0)
+        out = sampler.sample_batch(rng, matrix[:4], 3)
+        assert out.shape == (4, 3)
+
+
+class TestApproximateSampler:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            AdaptiveNoiseSampler(np.zeros((0, 3), dtype=np.float32))
+        with pytest.raises(ValueError):
+            AdaptiveNoiseSampler(make_matrix(rng), lam=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveNoiseSampler(make_matrix(rng), refresh_interval=0)
+
+    def test_requires_context(self, rng):
+        sampler = AdaptiveNoiseSampler(make_matrix(rng))
+        with pytest.raises(ValueError):
+            sampler.sample(rng, 2)
+
+    def test_refresh_happens_lazily_on_first_sample(self, rng):
+        matrix = make_matrix(rng)
+        sampler = AdaptiveNoiseSampler(matrix, lam=10.0)
+        assert sampler.n_refreshes == 0
+        sampler.sample(rng, 2, context_vector=matrix[0])
+        assert sampler.n_refreshes == 1
+
+    def test_refresh_counts_notified_steps(self, rng):
+        matrix = make_matrix(rng)
+        sampler = AdaptiveNoiseSampler(matrix, lam=10.0, refresh_interval=5)
+        sampler.sample(rng, 1, context_vector=matrix[0])
+        assert sampler.n_refreshes == 1
+        for _ in range(4):
+            sampler.notify_step()
+            sampler.sample(rng, 1, context_vector=matrix[0])
+        assert sampler.n_refreshes == 1  # only 4 steps since refresh
+        sampler.notify_step()
+        sampler.sample(rng, 1, context_vector=matrix[0])
+        assert sampler.n_refreshes == 2
+
+    def test_small_lambda_prefers_high_value_dimension_leaders(self, rng):
+        # Build a matrix where node 7 dominates every dimension: whatever
+        # dimension is drawn, rank 0 is node 7.
+        matrix = make_matrix(rng)
+        matrix[7] = matrix.max() + 1.0
+        sampler = AdaptiveNoiseSampler(matrix, lam=0.2)
+        out = sampler.sample(rng, 300, context_vector=matrix[0])
+        assert (out == 7).mean() > 0.9
+
+    def test_candidate_restriction(self, rng):
+        matrix = make_matrix(rng)
+        cands = np.array([1, 4, 6, 30])
+        sampler = AdaptiveNoiseSampler(matrix, lam=2.0, candidates=cands)
+        out = sampler.sample(rng, 200, context_vector=matrix[0])
+        assert set(out.tolist()) <= set(cands.tolist())
+
+    def test_batch_shape_and_range(self, rng):
+        matrix = make_matrix(rng)
+        sampler = AdaptiveNoiseSampler(matrix, lam=5.0)
+        out = sampler.sample_batch(rng, matrix[:10], 4)
+        assert out.shape == (10, 4)
+        assert out.min() >= 0 and out.max() < matrix.shape[0]
+
+    def test_batch_with_candidates(self, rng):
+        matrix = make_matrix(rng)
+        cands = np.array([0, 2, 4, 8, 16, 32])
+        sampler = AdaptiveNoiseSampler(matrix, lam=3.0, candidates=cands)
+        out = sampler.sample_batch(rng, matrix[:6], 3)
+        assert set(out.ravel().tolist()) <= set(cands.tolist())
+
+    def test_degenerate_zero_context_falls_back_to_uniform_dims(self, rng):
+        matrix = make_matrix(rng)
+        sampler = AdaptiveNoiseSampler(matrix, lam=5.0)
+        out = sampler.sample(rng, 50, context_vector=np.zeros(matrix.shape[1]))
+        assert out.shape == (50,)
+
+    def test_sampler_adapts_after_matrix_change(self, rng):
+        # The defining property: the noise distribution tracks the model.
+        matrix = make_matrix(rng)
+        sampler = AdaptiveNoiseSampler(matrix, lam=0.2, refresh_interval=1)
+        context = np.ones(matrix.shape[1], dtype=np.float32)
+        sampler.sample(rng, 1, context_vector=context)
+        matrix[:] = 0.0
+        matrix[13] = 5.0  # new unambiguous leader on every dimension
+        sampler.notify_step()
+        out = sampler.sample(rng, 100, context_vector=context)
+        assert (out == 13).mean() > 0.9
+
+    def test_approximate_tracks_exact_on_rank_concentrated_dist(self, rng):
+        # With a dominant node and tiny lambda both samplers agree.
+        matrix = make_matrix(rng)
+        matrix[3] = matrix.max() + 2.0
+        approx = AdaptiveNoiseSampler(matrix, lam=0.1)
+        exact = ExactAdaptiveSampler(matrix, lam=0.1)
+        context = matrix[11]
+        a = approx.sample(rng, 100, context_vector=context)
+        e = exact.sample(rng, 100, context_vector=context)
+        assert (a == 3).mean() > 0.9
+        assert (e == 3).mean() > 0.9

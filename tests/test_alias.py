@@ -1,0 +1,90 @@
+"""Tests for the alias-method sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alias import AliasTable
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.array([]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.array([1.0, -0.1]))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.array([0.0, 0.0]))
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.array([1.0, np.nan]))
+        with pytest.raises(ValueError):
+            AliasTable(np.array([1.0, np.inf]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.ones((2, 2)))
+
+    def test_probabilities_normalised(self):
+        table = AliasTable(np.array([1.0, 3.0]))
+        assert table.probabilities.sum() == pytest.approx(1.0)
+        assert table.probabilities[1] == pytest.approx(0.75)
+
+
+class TestSampling:
+    def test_single_draw_returns_int(self):
+        table = AliasTable(np.array([1.0, 2.0, 3.0]))
+        value = table.sample(np.random.default_rng(0))
+        assert isinstance(value, int)
+        assert 0 <= value < 3
+
+    def test_vector_draw_shape_and_range(self):
+        table = AliasTable(np.ones(7))
+        out = table.sample(np.random.default_rng(0), size=1000)
+        assert out.shape == (1000,)
+        assert out.min() >= 0 and out.max() < 7
+
+    def test_degenerate_single_weight(self):
+        table = AliasTable(np.array([5.0]))
+        assert np.all(table.sample(np.random.default_rng(0), size=50) == 0)
+
+    def test_zero_weight_never_sampled(self):
+        table = AliasTable(np.array([0.0, 1.0, 0.0]))
+        out = table.sample(np.random.default_rng(0), size=500)
+        assert set(out.tolist()) == {1}
+
+    def test_empirical_distribution_matches_weights(self):
+        weights = np.array([1.0, 2.0, 4.0, 8.0])
+        table = AliasTable(weights)
+        out = table.sample(np.random.default_rng(42), size=60_000)
+        freq = np.bincount(out, minlength=4) / out.size
+        np.testing.assert_allclose(freq, weights / weights.sum(), atol=0.01)
+
+    def test_reproducible_given_seed(self):
+        table = AliasTable(np.arange(1, 11, dtype=float))
+        a = table.sample(np.random.default_rng(7), size=100)
+        b = table.sample(np.random.default_rng(7), size=100)
+        assert np.array_equal(a, b)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+            max_size=40,
+        ).filter(lambda w: sum(w) > 0)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_samples_only_positive_weight_indices(self, weights):
+        table = AliasTable(np.array(weights))
+        out = table.sample(np.random.default_rng(0), size=200)
+        positive = {i for i, w in enumerate(weights) if w > 0}
+        # Indices with zero weight may appear in the alias structure but
+        # must never be returned with meaningful frequency; an exact-zero
+        # weight is never returned at all.
+        assert set(out.tolist()) <= positive

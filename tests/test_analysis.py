@@ -1,0 +1,87 @@
+"""Tests for the dataset analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.ebsn.analysis import (
+    DistributionSummary,
+    analyze_ebsn,
+    gini_coefficient,
+)
+
+
+class TestGini:
+    def test_perfect_equality_is_zero(self):
+        assert gini_coefficient(np.full(10, 3.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_total_inequality_approaches_one(self):
+        values = np.zeros(1000)
+        values[0] = 100.0
+        assert gini_coefficient(values) > 0.99
+
+    def test_known_value(self):
+        # For [0, 1]: G = 0.5.
+        assert gini_coefficient(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_empty_and_zero_sum(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 2.0]))
+
+    def test_scale_invariance(self):
+        values = np.array([1.0, 2.0, 5.0, 9.0])
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient(values * 7.3)
+        )
+
+
+class TestDistributionSummary:
+    def test_from_values(self):
+        summary = DistributionSummary.from_values(np.arange(101, dtype=float))
+        assert summary.mean == pytest.approx(50.0)
+        assert summary.median == pytest.approx(50.0)
+        assert summary.p10 == pytest.approx(10.0)
+        assert summary.p90 == pytest.approx(90.0)
+        assert summary.maximum == 100.0
+
+    def test_empty(self):
+        summary = DistributionSummary.from_values(np.array([]))
+        assert summary.mean == 0.0 and summary.gini == 0.0
+
+    def test_row_renders(self):
+        summary = DistributionSummary.from_values(np.ones(4))
+        assert "mean=" in summary.row("x")
+
+
+class TestAnalyzeEbsn:
+    def test_report_on_tiny(self, tiny_ebsn):
+        analysis = analyze_ebsn(tiny_ebsn)
+        assert analysis.name == tiny_ebsn.name
+        # Totals must reconcile with the raw records.
+        assert (
+            analysis.events_per_user.mean * tiny_ebsn.n_users
+            == pytest.approx(len(tiny_ebsn.attendances))
+        )
+        assert (
+            analysis.attendees_per_event.mean * tiny_ebsn.n_events
+            == pytest.approx(len(tiny_ebsn.attendances))
+        )
+        assert (
+            analysis.friends_per_user.mean * tiny_ebsn.n_users
+            == pytest.approx(2 * len(tiny_ebsn.friendships))
+        )
+        assert 0.0 <= analysis.social_coattendance_rate <= 1.0
+
+    def test_synthetic_data_is_socially_coattended(self, tiny_ebsn):
+        # The partner ground truth requires friends to co-attend; the
+        # generator's social amplification must produce a visible rate.
+        analysis = analyze_ebsn(tiny_ebsn)
+        assert analysis.social_coattendance_rate > 0.2
+
+    def test_format_report(self, tiny_ebsn):
+        report = analyze_ebsn(tiny_ebsn).format_report()
+        assert "events per user" in report
+        assert "social co-attendance rate" in report

@@ -1,0 +1,41 @@
+"""Tests for the dataset CLI (python -m repro.data)."""
+
+import pytest
+
+from repro.data.__main__ import main
+
+
+class TestPresetsCommand:
+    def test_lists_all_presets(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("tiny", "beijing-small", "beijing-full"):
+            assert name in out
+
+
+class TestGenerateAndStats:
+    def test_generate_then_stats_round_trip(self, tmp_path, capsys):
+        out_dir = tmp_path / "ds"
+        assert (
+            main(["generate", "--preset", "tiny", "--seed", "3", "--out", str(out_dir)])
+            == 0
+        )
+        generated = capsys.readouterr().out
+        assert "# of users" in generated
+
+        assert main(["stats", str(out_dir)]) == 0
+        stats = capsys.readouterr().out
+        assert "dataset: tiny" in stats
+        assert "# of events" in stats
+
+    def test_generate_unknown_preset_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["generate", "--preset", "atlantis", "--out", str(tmp_path / "x")])
+
+    def test_stats_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["stats", str(tmp_path / "missing")])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,144 @@
+"""Tests for the from-scratch DBSCAN implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebsn.dbscan import (
+    NOISE,
+    dbscan,
+    dbscan_geo,
+    haversine_km,
+    project_to_plane_km,
+)
+
+
+def make_blobs(rng, centers, n_per, scale=0.05):
+    points = []
+    for cx, cy in centers:
+        points.append(rng.normal((cx, cy), scale, size=(n_per, 2)))
+    return np.vstack(points)
+
+
+class TestDbscanBasics:
+    def test_empty_input(self):
+        labels = dbscan(np.zeros((0, 2)), eps=1.0, min_samples=2)
+        assert labels.shape == (0,)
+
+    def test_single_point_is_noise_with_min_samples_2(self):
+        labels = dbscan(np.array([[0.0, 0.0]]), eps=1.0, min_samples=2)
+        assert labels.tolist() == [NOISE]
+
+    def test_single_point_is_cluster_with_min_samples_1(self):
+        labels = dbscan(np.array([[0.0, 0.0]]), eps=1.0, min_samples=1)
+        assert labels.tolist() == [0]
+
+    def test_two_well_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        points = make_blobs(rng, [(0, 0), (10, 10)], 30)
+        labels = dbscan(points, eps=0.5, min_samples=4)
+        assert set(labels[:30]) == {0}
+        assert set(labels[30:]) == {1}
+
+    def test_outlier_is_noise(self):
+        rng = np.random.default_rng(1)
+        points = np.vstack([make_blobs(rng, [(0, 0)], 30), [[50.0, 50.0]]])
+        labels = dbscan(points, eps=0.5, min_samples=4)
+        assert labels[-1] == NOISE
+        assert set(labels[:30]) == {0}
+
+    def test_chain_connectivity_merges_into_one_cluster(self):
+        # A line of points each within eps of the next forms one cluster.
+        points = np.column_stack([np.arange(20) * 0.9, np.zeros(20)])
+        labels = dbscan(points, eps=1.0, min_samples=2)
+        assert set(labels) == {0}
+
+    def test_deterministic_labels(self):
+        rng = np.random.default_rng(2)
+        points = make_blobs(rng, [(0, 0), (5, 5), (10, 0)], 20)
+        a = dbscan(points, eps=0.5, min_samples=3)
+        b = dbscan(points, eps=0.5, min_samples=3)
+        assert np.array_equal(a, b)
+
+    def test_invalid_parameters(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            dbscan(pts, eps=0.0, min_samples=2)
+        with pytest.raises(ValueError):
+            dbscan(pts, eps=1.0, min_samples=0)
+        with pytest.raises(ValueError):
+            dbscan(np.zeros(3), eps=1.0, min_samples=1)
+
+
+class TestDbscanProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_labels_are_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 4, size=(rng.integers(1, 60), 2))
+        labels = dbscan(points, eps=0.6, min_samples=3)
+        k = labels.max()
+        # Labels are NOISE or a contiguous range 0..k.
+        assert set(labels) <= ({NOISE} | set(range(k + 1)))
+        if k >= 0:
+            assert set(labels[labels != NOISE]) == set(range(k + 1))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_core_points_never_noise(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 3, size=(40, 2))
+        eps, min_samples = 0.7, 4
+        labels = dbscan(points, eps=eps, min_samples=min_samples)
+        d2 = ((points[:, None, :] - points[None, :, :]) ** 2).sum(-1)
+        neighbour_counts = (d2 <= eps**2).sum(axis=1)  # includes self
+        core = neighbour_counts >= min_samples
+        assert np.all(labels[core] != NOISE)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_same_cluster_points_connected_within_eps_graph(self, seed):
+        # Every non-noise point has a neighbour within eps in its cluster.
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 3, size=(40, 2))
+        labels = dbscan(points, eps=0.7, min_samples=3)
+        d = np.sqrt(((points[:, None, :] - points[None, :, :]) ** 2).sum(-1))
+        for i in range(points.shape[0]):
+            if labels[i] == NOISE:
+                continue
+            same = (labels == labels[i]) & (np.arange(40) != i)
+            if np.any(same):
+                assert d[i][same].min() <= 0.7 + 1e-9
+
+
+class TestGeoHelpers:
+    def test_haversine_known_distance(self):
+        # Beijing to Shanghai is ~1067 km.
+        d = haversine_km(39.9042, 116.4074, 31.2304, 121.4737)
+        assert 1000 < float(d) < 1130
+
+    def test_haversine_zero(self):
+        assert float(haversine_km(10.0, 20.0, 10.0, 20.0)) == pytest.approx(0.0)
+
+    def test_projection_preserves_city_scale_distances(self):
+        rng = np.random.default_rng(3)
+        lat = 39.9 + rng.uniform(-0.1, 0.1, 50)
+        lon = 116.4 + rng.uniform(-0.1, 0.1, 50)
+        planar = project_to_plane_km(lat, lon)
+        d_planar = np.sqrt(((planar[0] - planar[1]) ** 2).sum())
+        d_true = float(haversine_km(lat[0], lon[0], lat[1], lon[1]))
+        assert d_planar == pytest.approx(d_true, rel=0.01)
+
+    def test_dbscan_geo_clusters_city_blobs(self):
+        rng = np.random.default_rng(4)
+        lat0, lon0 = 39.9, 116.4
+        lat = np.concatenate(
+            [rng.normal(lat0, 0.002, 20), rng.normal(lat0 + 0.2, 0.002, 20)]
+        )
+        lon = np.concatenate(
+            [rng.normal(lon0, 0.002, 20), rng.normal(lon0 + 0.2, 0.002, 20)]
+        )
+        labels = dbscan_geo(lat, lon, eps_km=1.0, min_samples=4)
+        assert set(labels[:20]) == {0}
+        assert set(labels[20:]) == {1}

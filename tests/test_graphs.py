@@ -1,0 +1,249 @@
+"""Tests for the five bipartite graph builders (Definitions 2-6)."""
+
+import numpy as np
+import pytest
+
+from repro.ebsn import (
+    EBSN,
+    Attendance,
+    Event,
+    Friendship,
+    User,
+    Venue,
+)
+from repro.ebsn.graphs import (
+    EVENT_LOCATION,
+    EVENT_TIME,
+    EVENT_WORD,
+    USER_EVENT,
+    USER_USER,
+    BipartiteGraph,
+    EntityType,
+    GraphBundle,
+    build_event_location_graph,
+    build_event_time_graph,
+    build_event_word_graph,
+    build_graph_bundle,
+    build_user_event_graph,
+    build_user_user_graph,
+)
+from repro.ebsn.regions import assign_regions
+from repro.ebsn.timeslots import N_TIME_SLOTS
+
+
+@pytest.fixture()
+def small_ebsn() -> EBSN:
+    users = [User(f"u{i}") for i in range(4)]
+    venues = [
+        Venue("v0", 39.90, 116.40),
+        Venue("v1", 39.905, 116.405),
+        Venue("v2", 39.99, 116.49),
+    ]
+    events = [
+        Event("x0", "v0", 1_600_000_000.0, description="jazz night music"),
+        Event("x1", "v1", 1_600_100_000.0, description="rock concert music"),
+        Event("x2", "v2", 1_600_200_000.0, description="python coding meetup"),
+    ]
+    attendances = [
+        Attendance("u0", "x0"),
+        Attendance("u0", "x1", rating=4.0),
+        Attendance("u1", "x0"),
+        Attendance("u1", "x2"),
+        Attendance("u2", "x2"),
+    ]
+    friendships = [Friendship("u0", "u1"), Friendship("u2", "u3")]
+    return EBSN(users, events, venues, attendances, friendships)
+
+
+class TestBipartiteGraphValidation:
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(
+                name="g",
+                left_type=EntityType.USER,
+                right_type=EntityType.EVENT,
+                n_left=2,
+                n_right=2,
+                left=np.array([0]),
+                right=np.array([0, 1]),
+                weights=np.array([1.0]),
+            )
+
+    def test_rejects_out_of_range_indices(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(
+                name="g",
+                left_type=EntityType.USER,
+                right_type=EntityType.EVENT,
+                n_left=1,
+                n_right=1,
+                left=np.array([1]),
+                right=np.array([0]),
+                weights=np.array([1.0]),
+            )
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(
+                name="g",
+                left_type=EntityType.USER,
+                right_type=EntityType.EVENT,
+                n_left=1,
+                n_right=1,
+                left=np.array([0]),
+                right=np.array([0]),
+                weights=np.array([0.0]),
+            )
+
+    def test_degrees(self):
+        graph = BipartiteGraph(
+            name="g",
+            left_type=EntityType.USER,
+            right_type=EntityType.EVENT,
+            n_left=2,
+            n_right=2,
+            left=np.array([0, 0, 1]),
+            right=np.array([0, 1, 1]),
+            weights=np.array([1.0, 2.0, 3.0]),
+        )
+        np.testing.assert_array_equal(graph.degrees("left"), [3.0, 3.0])
+        np.testing.assert_array_equal(graph.degrees("right"), [1.0, 5.0])
+        with pytest.raises(ValueError):
+            graph.degrees("middle")
+
+    def test_adjacency(self):
+        graph = BipartiteGraph(
+            name="g",
+            left_type=EntityType.USER,
+            right_type=EntityType.EVENT,
+            n_left=2,
+            n_right=3,
+            left=np.array([0, 0, 1]),
+            right=np.array([0, 2, 2]),
+            weights=np.ones(3),
+        )
+        assert graph.adjacency_left() == [{0, 2}, {2}]
+        assert graph.adjacency_right() == [{0}, set(), {0, 1}]
+
+
+class TestUserEventGraph:
+    def test_all_attendances_become_edges(self, small_ebsn):
+        graph = build_user_event_graph(small_ebsn)
+        assert graph.n_edges == 5
+        assert graph.left_type is EntityType.USER
+        assert graph.right_type is EntityType.EVENT
+
+    def test_rating_becomes_weight(self, small_ebsn):
+        graph = build_user_event_graph(small_ebsn)
+        edges = {
+            (l, r): w
+            for l, r, w in zip(graph.left, graph.right, graph.weights)
+        }
+        assert edges[(0, 1)] == 4.0  # rated attendance
+        assert edges[(0, 0)] == 1.0  # unrated default
+
+    def test_allowed_events_filters_cold_start(self, small_ebsn):
+        graph = build_user_event_graph(small_ebsn, allowed_events={0, 1})
+        assert set(graph.right.tolist()) <= {0, 1}
+        assert graph.n_edges == 3
+        # Node space still covers all events (cold nodes exist, no edges).
+        assert graph.n_right == 3
+
+
+class TestUserUserGraph:
+    def test_weight_is_one_plus_common_events(self, small_ebsn):
+        graph = build_user_user_graph(small_ebsn)
+        edges = {
+            (l, r): w
+            for l, r, w in zip(graph.left, graph.right, graph.weights)
+        }
+        assert edges[(0, 1)] == 2.0  # share x0
+        assert edges[(2, 3)] == 1.0  # no common events
+
+    def test_allowed_events_restricts_common_count(self, small_ebsn):
+        graph = build_user_user_graph(small_ebsn, allowed_events={2})
+        edges = {
+            (l, r): w
+            for l, r, w in zip(graph.left, graph.right, graph.weights)
+        }
+        assert edges[(0, 1)] == 1.0  # x0 no longer counted
+
+    def test_excluded_pairs_removed(self, small_ebsn):
+        graph = build_user_user_graph(small_ebsn, excluded_pairs={(0, 1)})
+        assert (0, 1) not in set(zip(graph.left.tolist(), graph.right.tolist()))
+        assert graph.n_edges == 1
+
+
+class TestEventLocationGraph:
+    def test_one_edge_per_event(self, small_ebsn):
+        regions = assign_regions(small_ebsn.venues, eps_km=1.0, min_samples=2)
+        graph = build_event_location_graph(small_ebsn, regions)
+        assert graph.n_edges == small_ebsn.n_events
+        assert np.all(graph.weights == 1.0)
+
+    def test_nearby_venues_share_region(self, small_ebsn):
+        regions = assign_regions(small_ebsn.venues, eps_km=1.0, min_samples=2)
+        graph = build_event_location_graph(small_ebsn, regions)
+        region_of = dict(zip(graph.left.tolist(), graph.right.tolist()))
+        assert region_of[0] == region_of[1]  # v0 and v1 are ~700m apart
+        assert region_of[0] != region_of[2]  # v2 is ~12km away
+
+
+class TestEventTimeGraph:
+    def test_three_edges_per_event(self, small_ebsn):
+        graph = build_event_time_graph(small_ebsn)
+        assert graph.n_edges == 3 * small_ebsn.n_events
+        assert graph.n_right == N_TIME_SLOTS
+
+    def test_slots_cover_three_granularities(self, small_ebsn):
+        graph = build_event_time_graph(small_ebsn)
+        slots = graph.right[graph.left == 0]
+        assert (slots[0] < 24) and (24 <= slots[1] < 31) and (slots[2] >= 31)
+
+
+class TestEventWordGraph:
+    def test_words_linked_with_tfidf(self, small_ebsn):
+        graph, vocab = build_event_word_graph(small_ebsn)
+        assert graph.n_right == len(vocab)
+        assert graph.n_edges > 0
+        assert np.all(graph.weights > 0)
+
+    def test_ubiquitous_word_excluded(self, small_ebsn):
+        # 'music' appears in 2 of 3 docs; a word in all docs has idf 0.
+        graph, vocab = build_event_word_graph(small_ebsn)
+        jazz_edges = graph.n_edges
+        assert "jazz" in vocab
+        assert jazz_edges >= 6  # distinct informative words
+
+
+class TestGraphBundle:
+    def test_bundle_contains_all_five_graphs(self, small_ebsn):
+        bundle = build_graph_bundle(
+            small_ebsn, region_min_samples=2, min_doc_freq=1, max_doc_ratio=1.0
+        )
+        for name in (USER_EVENT, USER_USER, EVENT_LOCATION, EVENT_TIME, EVENT_WORD):
+            assert name in bundle
+        assert bundle.entity_counts[EntityType.TIME] == N_TIME_SLOTS
+
+    def test_entity_count_consistency_enforced(self, small_ebsn):
+        bundle = build_graph_bundle(small_ebsn, region_min_samples=2)
+        bad_counts = dict(bundle.entity_counts)
+        bad_counts[EntityType.USER] = 99
+        with pytest.raises(ValueError):
+            GraphBundle(graphs=bundle.graphs, entity_counts=bad_counts)
+
+    def test_edge_counts_and_total(self, small_ebsn):
+        bundle = build_graph_bundle(small_ebsn, region_min_samples=2)
+        counts = bundle.edge_counts()
+        assert counts[EVENT_TIME] == 9
+        assert bundle.total_edges() == sum(counts.values())
+
+    def test_cold_start_protocol(self, small_ebsn):
+        # allowed_events excludes event 2: no attendance edges for it, but
+        # content/time/location edges remain.
+        bundle = build_graph_bundle(
+            small_ebsn, allowed_events={0, 1}, region_min_samples=2
+        )
+        assert 2 not in set(bundle[USER_EVENT].right.tolist())
+        assert 2 in set(bundle[EVENT_TIME].left.tolist())
+        assert 2 in set(bundle[EVENT_LOCATION].left.tolist())

@@ -1,0 +1,81 @@
+"""Tests for the HeteRS-style random-walk baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.heters import HeteRS, HeteRSConfig
+from repro.ebsn.graphs import EntityType
+from repro.evaluation import evaluate_event_recommendation
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_bundle):
+    return HeteRS(HeteRSConfig(n_iterations=15)).fit(tiny_bundle)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeteRSConfig(restart_probability=0.0).validate()
+        with pytest.raises(ValueError):
+            HeteRSConfig(restart_probability=1.0).validate()
+        with pytest.raises(ValueError):
+            HeteRSConfig(n_iterations=0).validate()
+
+
+class TestTransitionMatrix:
+    def test_columns_are_stochastic(self, fitted):
+        P = fitted._transition
+        col_sums = np.asarray(P.sum(axis=0)).ravel()
+        connected = col_sums > 0
+        np.testing.assert_allclose(col_sums[connected], 1.0, rtol=1e-9)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            HeteRS().score_user_event(0, np.array([0]))
+
+
+class TestWalk:
+    def test_mass_is_a_distribution_like_vector(self, fitted):
+        mass = fitted.walk_from(EntityType.USER, 0)
+        assert mass.min() >= 0.0
+        assert mass.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_restart_keeps_mass_near_source(self, fitted, tiny_ebsn):
+        mass = fitted.walk_from(EntityType.USER, 0)
+        source = fitted._offsets[EntityType.USER] + 0
+        assert mass[source] > np.median(mass) * 10
+
+    def test_attended_events_score_above_average(self, fitted, tiny_split):
+        user = next(
+            u
+            for u in range(tiny_split.ebsn.n_users)
+            if tiny_split.training_events_of_user(u)
+        )
+        attended = sorted(tiny_split.training_events_of_user(user))
+        all_events = np.arange(tiny_split.ebsn.n_events)
+        scores = fitted.score_user_event(user, all_events)
+        assert scores[attended].mean() > scores.mean()
+
+    def test_cold_events_reachable_through_content(self, fitted, tiny_split):
+        cold = np.array(sorted(tiny_split.test_events))
+        scores = fitted.score_user_event(0, cold)
+        assert np.all(scores > 0.0)  # words/regions/slots connect them
+
+    def test_triple_scores_aligned(self, fitted):
+        partners = np.array([1, 2, 1])
+        events = np.array([0, 1, 2])
+        out = fitted.score_triples(0, partners, events)
+        assert out.shape == (3,)
+        with pytest.raises(ValueError):
+            fitted.score_triples(0, partners, events[:2])
+
+
+class TestEffectiveness:
+    def test_beats_chance_on_cold_start(self, tiny_split, tiny_bundle):
+        model = HeteRS(HeteRSConfig(n_iterations=15)).fit(tiny_bundle)
+        result = evaluate_event_recommendation(
+            model, tiny_split, n_negatives=1000, seed=1
+        )
+        chance_at_1 = 1 / len(tiny_split.test_events)
+        assert result.accuracy[1] > chance_at_1

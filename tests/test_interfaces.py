@@ -1,0 +1,51 @@
+"""Tests for the shared Recommender interface defaults."""
+
+import numpy as np
+import pytest
+
+from repro.core.interfaces import Recommender
+
+
+class ToyModel(Recommender):
+    """Deterministic scores: s(u, x) = u * x, social(u, v) = u + v."""
+
+    def score_user_event(self, user, events):
+        return user * np.asarray(events, dtype=np.float64)
+
+    def score_user_user(self, user, others):
+        return user + np.asarray(others, dtype=np.float64)
+
+
+class TestAlignedDefault:
+    def test_groups_by_user(self):
+        model = ToyModel()
+        users = np.array([2, 3, 2])
+        events = np.array([10, 10, 20])
+        out = model.score_user_event_aligned(users, events)
+        np.testing.assert_allclose(out, [20.0, 30.0, 40.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ToyModel().score_user_event_aligned(np.array([1]), np.array([1, 2]))
+
+
+class TestTripleDefault:
+    def test_pairwise_decomposition(self):
+        model = ToyModel()
+        user = 2
+        partners = np.array([3, 4])
+        events = np.array([10, 20])
+        out = model.score_triples(user, partners, events)
+        # s(u,x) + s(u',x) + s(u,u')
+        expected = [2 * 10 + 3 * 10 + (2 + 3), 2 * 20 + 4 * 20 + (2 + 4)]
+        np.testing.assert_allclose(out, expected)
+
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            ToyModel().score_triples(0, np.array([1, 2]), np.array([1]))
+
+    def test_empty_candidates(self):
+        out = ToyModel().score_triples(
+            0, np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        assert out.shape == (0,)

@@ -1,0 +1,147 @@
+"""Tests for the Meetup-export adapter."""
+
+import json
+
+import pytest
+
+from repro.data.meetup import load_meetup_directory, load_meetup_export
+
+MEMBERS = [
+    {"member_id": 101, "name": "ana"},
+    {"member_id": 102, "name": "bo"},
+    {"member_id": 103},
+]
+VENUES = [
+    {"venue_id": "v1", "lat": 39.9, "lon": 116.4, "name": "hall"},
+    {"venue_id": "v2", "lat": 39.95, "lon": 116.45},
+]
+EVENTS = [
+    {
+        "event_id": "e1",
+        "venue_id": "v1",
+        "time": 1_600_000_000_000,  # epoch ms (Meetup convention)
+        "description": "python meetup talk",
+        "name": "PyNight",
+    },
+    {"event_id": "e2", "venue_id": "v2", "time": 1_600_100_000.0},  # seconds
+]
+RSVPS = [
+    {"member_id": 101, "event_id": "e1", "response": "yes"},
+    {"member_id": 102, "event_id": "e1", "response": "no"},
+    {"member_id": 102, "event_id": "e2", "response": "YES"},
+    {"member_id": 103, "event_id": "e2"},  # missing response defaults to yes
+]
+FRIENDS = [{"member_a": 101, "member_b": 102}]
+
+
+class TestInMemoryRecords:
+    def test_basic_conversion(self):
+        ebsn = load_meetup_export(
+            members=MEMBERS,
+            venues=VENUES,
+            events=EVENTS,
+            rsvps=RSVPS,
+            friendships=FRIENDS,
+        )
+        assert ebsn.n_users == 3
+        assert ebsn.n_events == 2
+        assert ebsn.n_venues == 2
+        # "no" response dropped; 3 yes-attendances remain.
+        assert len(ebsn.attendances) == 3
+        assert len(ebsn.friendships) == 1
+
+    def test_millisecond_times_normalised(self):
+        ebsn = load_meetup_export(
+            members=MEMBERS, venues=VENUES, events=EVENTS, rsvps=[]
+        )
+        e1 = ebsn.events[ebsn.event_index["e1"]]
+        e2 = ebsn.events[ebsn.event_index["e2"]]
+        assert e1.start_time == pytest.approx(1_600_000_000.0)
+        assert e2.start_time == pytest.approx(1_600_100_000.0)
+
+    def test_response_case_insensitive(self):
+        ebsn = load_meetup_export(
+            members=MEMBERS, venues=VENUES, events=EVENTS, rsvps=RSVPS
+        )
+        attending = {(a.user_id, a.event_id) for a in ebsn.attendances}
+        assert ("102", "e2") in attending  # "YES"
+        assert ("102", "e1") not in attending  # "no"
+
+    def test_missing_required_field_raises(self):
+        with pytest.raises(ValueError, match="member_id"):
+            load_meetup_export(
+                members=[{"name": "ghost"}], venues=[], events=[], rsvps=[]
+            )
+
+    def test_unknown_references_surface_from_ebsn(self):
+        with pytest.raises(ValueError):
+            load_meetup_export(
+                members=MEMBERS,
+                venues=VENUES,
+                events=EVENTS,
+                rsvps=[{"member_id": 999, "event_id": "e1"}],
+            )
+
+
+class TestFileLoading:
+    def _write(self, path, records, as_array=False):
+        if as_array:
+            path.write_text(json.dumps(records), encoding="utf-8")
+        else:
+            path.write_text(
+                "\n".join(json.dumps(r) for r in records), encoding="utf-8"
+            )
+
+    def test_jsonl_and_array_files(self, tmp_path):
+        self._write(tmp_path / "members.jsonl", MEMBERS)
+        self._write(tmp_path / "venues.json", VENUES, as_array=True)
+        self._write(tmp_path / "events.jsonl", EVENTS)
+        self._write(tmp_path / "rsvps.jsonl", RSVPS)
+        ebsn = load_meetup_directory(tmp_path)
+        assert ebsn.n_users == 3
+        assert ebsn.name == tmp_path.name
+
+    def test_optional_friendships_file(self, tmp_path):
+        self._write(tmp_path / "members.jsonl", MEMBERS)
+        self._write(tmp_path / "venues.jsonl", VENUES)
+        self._write(tmp_path / "events.jsonl", EVENTS)
+        self._write(tmp_path / "rsvps.jsonl", RSVPS)
+        self._write(tmp_path / "friendships.jsonl", FRIENDS)
+        ebsn = load_meetup_directory(tmp_path, name="crawl")
+        assert len(ebsn.friendships) == 1
+        assert ebsn.name == "crawl"
+
+    def test_missing_required_file(self, tmp_path):
+        self._write(tmp_path / "members.jsonl", MEMBERS)
+        with pytest.raises(FileNotFoundError, match="venues"):
+            load_meetup_directory(tmp_path)
+
+    def test_corrupt_jsonl_reports_line(self, tmp_path):
+        (tmp_path / "members.jsonl").write_text('{"member_id": 1}\n{oops\n')
+        self._write(tmp_path / "venues.jsonl", VENUES)
+        self._write(tmp_path / "events.jsonl", [])
+        self._write(tmp_path / "rsvps.jsonl", [])
+        with pytest.raises(ValueError, match="members.jsonl:2"):
+            load_meetup_directory(tmp_path)
+
+    def test_empty_files(self, tmp_path):
+        for stem in ("members", "venues", "events", "rsvps"):
+            (tmp_path / f"{stem}.jsonl").write_text("")
+        ebsn = load_meetup_directory(tmp_path)
+        assert ebsn.n_users == 0 and ebsn.n_events == 0
+
+
+class TestPipelineCompatibility:
+    def test_adapter_output_feeds_graph_builders(self):
+        ebsn = load_meetup_export(
+            members=MEMBERS,
+            venues=VENUES,
+            events=EVENTS,
+            rsvps=RSVPS,
+            friendships=FRIENDS,
+        )
+        from repro.ebsn.graphs import build_graph_bundle
+
+        bundle = build_graph_bundle(ebsn, region_min_samples=1, min_doc_freq=1)
+        assert bundle["user_event"].n_edges == 3
+        assert bundle["event_time"].n_edges == 6

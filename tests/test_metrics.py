@@ -1,0 +1,106 @@
+"""Tests for the evaluation metrics (Eqn 9, approximation ratio)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    AccuracyAtN,
+    approximation_ratio,
+    rank_of_positive,
+)
+
+
+class TestRankOfPositive:
+    def test_best_rank_is_one(self):
+        assert rank_of_positive(10.0, np.array([1.0, 2.0, 3.0])) == 1.0
+
+    def test_worst_rank(self):
+        assert rank_of_positive(0.0, np.array([1.0, 2.0, 3.0])) == 4.0
+
+    def test_middle_rank(self):
+        assert rank_of_positive(2.5, np.array([1.0, 2.0, 3.0])) == 2.0
+
+    def test_ties_share_mid_rank(self):
+        assert rank_of_positive(2.0, np.array([2.0, 2.0])) == 2.0
+
+    def test_empty_negatives(self):
+        assert rank_of_positive(5.0, np.array([])) == 1.0
+
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.lists(st.floats(min_value=-100, max_value=100), max_size=30),
+    )
+    def test_rank_bounds(self, pos, negs):
+        rank = rank_of_positive(pos, np.array(negs))
+        assert 1.0 <= rank <= len(negs) + 1.0
+
+
+class TestAccuracyAtN:
+    def test_counts_hits_per_cutoff(self):
+        acc = AccuracyAtN(n_values=(1, 5, 10))
+        acc.add_case(1.0)
+        acc.add_case(3.0)
+        acc.add_case(30.0)
+        assert acc.accuracy(1) == pytest.approx(1 / 3)
+        assert acc.accuracy(5) == pytest.approx(2 / 3)
+        assert acc.accuracy(10) == pytest.approx(2 / 3)
+
+    def test_empty_accumulator_is_zero(self):
+        acc = AccuracyAtN(n_values=(5,))
+        assert acc.accuracy(5) == 0.0
+
+    def test_untracked_n_raises(self):
+        acc = AccuracyAtN(n_values=(5,))
+        with pytest.raises(KeyError):
+            acc.accuracy(10)
+
+    def test_invalid_n_values(self):
+        with pytest.raises(ValueError):
+            AccuracyAtN(n_values=())
+        with pytest.raises(ValueError):
+            AccuracyAtN(n_values=(0,))
+
+    def test_as_dict(self):
+        acc = AccuracyAtN(n_values=(1, 2))
+        acc.add_case(2.0)
+        assert acc.as_dict() == {1: 0.0, 2: 1.0}
+
+    def test_merge(self):
+        a = AccuracyAtN(n_values=(5,))
+        b = AccuracyAtN(n_values=(5,))
+        a.add_case(1.0)
+        b.add_case(100.0)
+        merged = a.merge(b)
+        assert merged.n_cases == 2
+        assert merged.accuracy(5) == pytest.approx(0.5)
+
+    def test_merge_rejects_mismatched_n(self):
+        with pytest.raises(ValueError):
+            AccuracyAtN(n_values=(5,)).merge(AccuracyAtN(n_values=(10,)))
+
+    def test_infinite_rank_never_hits(self):
+        acc = AccuracyAtN(n_values=(1000,))
+        acc.add_case(float("inf"))
+        assert acc.accuracy(1000) == 0.0
+
+    @given(st.lists(st.floats(min_value=1, max_value=50), min_size=1, max_size=40))
+    def test_monotone_in_n(self, ranks):
+        acc = AccuracyAtN(n_values=(1, 5, 10, 20))
+        for r in ranks:
+            acc.add_case(r)
+        values = [acc.accuracy(n) for n in (1, 5, 10, 20)]
+        assert values == sorted(values)
+
+
+class TestApproximationRatio:
+    def test_basic(self):
+        assert approximation_ratio(0.3, 0.4) == pytest.approx(0.75)
+
+    def test_full_zero_defined_as_one(self):
+        assert approximation_ratio(0.0, 0.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            approximation_ratio(-0.1, 0.5)

@@ -1,0 +1,134 @@
+"""Tests for the EBSN container and entity dataclasses."""
+
+import pytest
+
+from repro.ebsn import (
+    EBSN,
+    Attendance,
+    Event,
+    Friendship,
+    User,
+    Venue,
+)
+
+
+def build_ebsn():
+    users = [User("u0"), User("u1"), User("u2")]
+    venues = [Venue("v0", 39.9, 116.4)]
+    events = [
+        Event("x0", "v0", 100.0),
+        Event("x1", "v0", 50.0),
+    ]
+    attendances = [
+        Attendance("u0", "x0"),
+        Attendance("u1", "x0"),
+        Attendance("u0", "x1"),
+        Attendance("u0", "x1"),  # duplicate — must dedupe
+    ]
+    friendships = [
+        Friendship("u0", "u1"),
+        Friendship("u1", "u0"),  # same undirected edge — must dedupe
+    ]
+    return EBSN(users, events, venues, attendances, friendships)
+
+
+class TestEntityValidation:
+    def test_venue_coordinates_validated(self):
+        with pytest.raises(ValueError):
+            Venue("v", 91.0, 0.0)
+        with pytest.raises(ValueError):
+            Venue("v", 0.0, 181.0)
+
+    def test_event_time_validated(self):
+        with pytest.raises(ValueError):
+            Event("x", "v", -5.0)
+
+    def test_attendance_rating_validated(self):
+        with pytest.raises(ValueError):
+            Attendance("u", "x", rating=0.0)
+        assert Attendance("u", "x", rating=3.0).rating == 3.0
+
+    def test_self_friendship_rejected(self):
+        with pytest.raises(ValueError):
+            Friendship("u0", "u0")
+
+    def test_friendship_normalized(self):
+        assert Friendship("b", "a").normalized() == Friendship("a", "b")
+        assert Friendship("b", "a").key() == ("a", "b")
+
+
+class TestConstruction:
+    def test_indexes(self):
+        ebsn = build_ebsn()
+        assert ebsn.user_index == {"u0": 0, "u1": 1, "u2": 2}
+        assert ebsn.event_index["x1"] == 1
+        assert ebsn.n_users == 3 and ebsn.n_events == 2 and ebsn.n_venues == 1
+
+    def test_attendance_deduplicated(self):
+        ebsn = build_ebsn()
+        assert len(ebsn.attendances) == 3
+
+    def test_friendship_deduplicated(self):
+        ebsn = build_ebsn()
+        assert len(ebsn.friendships) == 1
+
+    def test_duplicate_user_id_rejected(self):
+        with pytest.raises(ValueError):
+            EBSN([User("u"), User("u")], [], [], [], [])
+
+    def test_unknown_references_rejected(self):
+        with pytest.raises(ValueError):
+            EBSN([User("u")], [Event("x", "missing", 1.0)], [], [], [])
+        with pytest.raises(ValueError):
+            EBSN([User("u")], [], [], [Attendance("u", "ghost")], [])
+        with pytest.raises(ValueError):
+            EBSN([User("u")], [], [], [], [Friendship("u", "ghost")])
+
+
+class TestAdjacency:
+    def test_events_of_user(self):
+        ebsn = build_ebsn()
+        assert ebsn.events_of_user(0) == {0, 1}
+        assert ebsn.events_of_user(2) == frozenset()
+
+    def test_users_of_event(self):
+        ebsn = build_ebsn()
+        assert ebsn.users_of_event(0) == {0, 1}
+
+    def test_friends_and_are_friends(self):
+        ebsn = build_ebsn()
+        assert ebsn.friends_of(0) == {1}
+        assert ebsn.are_friends(0, 1) and ebsn.are_friends(1, 0)
+        assert not ebsn.are_friends(0, 2)
+
+    def test_common_events(self):
+        ebsn = build_ebsn()
+        assert ebsn.common_events(0, 1) == {0}
+
+    def test_friendship_pairs_sorted(self):
+        ebsn = build_ebsn()
+        assert ebsn.friendship_pairs() == [(0, 1)]
+
+
+class TestHelpers:
+    def test_events_sorted_by_time(self):
+        ebsn = build_ebsn()
+        assert ebsn.events_sorted_by_time() == [1, 0]  # x1 starts earlier
+
+    def test_statistics(self):
+        stats = build_ebsn().statistics()
+        rows = dict(stats.as_rows())
+        assert rows["# of users"] == 3
+        assert rows["# of historical attendances"] == 3
+        assert rows["# of friendship links"] == 1
+
+    def test_filter_users_by_min_events(self):
+        ebsn = build_ebsn()
+        filtered = ebsn.filter_users_by_min_events(2)
+        assert filtered.n_users == 1  # only u0 attended >= 2 events
+        assert all(a.user_id == "u0" for a in filtered.attendances)
+        assert filtered.friendships == []
+
+    def test_filter_zero_keeps_everyone(self):
+        ebsn = build_ebsn()
+        assert ebsn.filter_users_by_min_events(0).n_users == 3

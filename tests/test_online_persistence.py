@@ -1,0 +1,70 @@
+"""Tests for online-index persistence."""
+
+import numpy as np
+import pytest
+
+from repro.online import EventPartnerRecommender, transform_all_pairs
+from repro.online.persistence import (
+    load_pair_space,
+    load_recommender,
+    save_pair_space,
+    save_recommender,
+)
+
+
+@pytest.fixture()
+def vectors(rng):
+    U = np.abs(rng.normal(0.3, 0.3, (15, 5)))
+    E = np.abs(rng.normal(0.3, 0.3, (8, 5)))
+    return U, E
+
+
+class TestPairSpaceRoundTrip:
+    def test_round_trip(self, vectors, tmp_path):
+        U, E = vectors
+        space = transform_all_pairs(E, U)
+        path = save_pair_space(space, tmp_path / "space.npz")
+        restored = load_pair_space(path)
+        np.testing.assert_array_equal(restored.points, space.points)
+        np.testing.assert_array_equal(restored.partner_ids, space.partner_ids)
+        np.testing.assert_array_equal(restored.event_ids, space.event_ids)
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        np.savez(tmp_path / "other.npz", data=np.ones(3))
+        with pytest.raises(ValueError):
+            load_pair_space(tmp_path / "other.npz")
+
+
+class TestRecommenderRoundTrip:
+    @pytest.mark.parametrize("method", ["ta", "bruteforce"])
+    def test_queries_identical_after_reload(self, vectors, tmp_path, method):
+        U, E = vectors
+        original = EventPartnerRecommender(
+            U, E, np.arange(E.shape[0]), top_k_events=3, method=method
+        )
+        path = save_recommender(original, tmp_path / "reco.npz")
+        restored = load_recommender(path)
+        assert restored.method == method
+        assert restored.top_k_events == 3
+        assert restored.n_candidate_pairs == original.n_candidate_pairs
+        for user in (0, 7):
+            a = original.recommend(user, n=4)
+            b = restored.recommend(user, n=4)
+            assert [(r.event, r.partner) for r in a] == [
+                (r.event, r.partner) for r in b
+            ]
+            assert [r.score for r in a] == pytest.approx([r.score for r in b])
+
+    def test_unpruned_recommender_round_trip(self, vectors, tmp_path):
+        U, E = vectors
+        original = EventPartnerRecommender(U, E, np.arange(E.shape[0]))
+        restored = load_recommender(
+            save_recommender(original, tmp_path / "r.npz")
+        )
+        assert restored.top_k_events is None
+        assert restored.n_candidate_pairs == original.n_candidate_pairs
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        np.savez(tmp_path / "other.npz", data=np.ones(3))
+        with pytest.raises(ValueError):
+            load_recommender(tmp_path / "other.npz")

@@ -1,0 +1,71 @@
+"""Tests for the Hogwild shared-memory parallel trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.gem import GEM
+from repro.core.parallel import speedup_curve, train_parallel
+from repro.core.trainer import TrainerConfig
+from repro.evaluation import evaluate_event_recommendation
+
+
+class TestSingleWorker:
+    def test_returns_trained_embeddings(self, tiny_bundle):
+        config = TrainerConfig(dim=8, seed=3)
+        result = train_parallel(tiny_bundle, config, 5_000, 1, seed=3)
+        assert result.n_workers == 1
+        assert result.total_steps == 5_000
+        assert result.wall_seconds > 0
+        assert result.embeddings.users.shape[1] == 8
+
+    def test_invalid_args(self, tiny_bundle):
+        config = TrainerConfig(dim=4)
+        with pytest.raises(ValueError):
+            train_parallel(tiny_bundle, config, -1, 1)
+        with pytest.raises(ValueError):
+            train_parallel(tiny_bundle, config, 10, 0)
+
+
+class TestMultiWorker:
+    def test_two_workers_produce_usable_model(self, tiny_split, tiny_bundle):
+        config = TrainerConfig(dim=16, seed=3, decay_horizon=60_000)
+        result = train_parallel(tiny_bundle, config, 60_000, 2, seed=3)
+        assert result.n_workers in (1, 2)  # 1 only if fork unavailable
+        model = GEM.from_embeddings(result.embeddings)
+        acc = evaluate_event_recommendation(
+            model, tiny_split, n_negatives=1000, seed=1
+        )
+        pool = len(tiny_split.test_events)
+        assert acc.accuracy[10] > 10 / pool / 2  # clearly above half-chance
+
+    def test_workers_share_updates(self, tiny_bundle):
+        # After a parallel run the result must differ from the init (all
+        # workers actually wrote into the shared matrices).
+        config = TrainerConfig(dim=8, seed=3)
+        result = train_parallel(tiny_bundle, config, 20_000, 2, seed=3)
+        from repro.core.embeddings import EmbeddingSet
+
+        init = EmbeddingSet.random(
+            tiny_bundle.entity_counts,
+            8,
+            scale=config.init_scale,
+            nonnegative=True,
+            rng=3,
+        )
+        assert not np.allclose(result.embeddings.users, init.users)
+
+    def test_embeddings_nonnegative_after_parallel_run(self, tiny_bundle):
+        config = TrainerConfig(dim=8, seed=3)
+        result = train_parallel(tiny_bundle, config, 20_000, 2, seed=3)
+        for matrix in result.embeddings.matrices.values():
+            assert matrix.min() >= 0.0
+
+
+class TestSpeedupCurve:
+    def test_curve_shape(self, tiny_bundle):
+        config = TrainerConfig(dim=8, seed=3)
+        results = speedup_curve(tiny_bundle, config, 10_000, [1, 2], seed=3)
+        assert [r.n_workers for r in results] == [1, 2] or [
+            r.n_workers for r in results
+        ] == [1, 1]
+        assert all(r.total_steps == 10_000 for r in results)

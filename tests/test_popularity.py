@@ -1,0 +1,59 @@
+"""Tests for the non-personalised sanity baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.popularity import ContextPopularity, RandomScorer
+from repro.core import GEM
+from repro.evaluation import evaluate_event_recommendation
+
+
+class TestRandomScorer:
+    def test_scores_in_unit_interval(self, tiny_bundle):
+        model = RandomScorer(seed=1).fit(tiny_bundle)
+        scores = model.score_user_event(0, np.arange(10))
+        assert scores.shape == (10,)
+        assert np.all((0 <= scores) & (scores < 1))
+
+    def test_near_chance_accuracy(self, tiny_split, tiny_bundle):
+        model = RandomScorer(seed=1).fit(tiny_bundle)
+        result = evaluate_event_recommendation(model, tiny_split, seed=1)
+        pool = len(tiny_split.test_events)
+        assert result.accuracy[1] == pytest.approx(1 / pool, abs=0.15)
+
+
+class TestContextPopularity:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ContextPopularity().score_user_event(0, np.array([0]))
+
+    def test_scores_identical_across_users(self, tiny_bundle):
+        model = ContextPopularity().fit(tiny_bundle)
+        events = np.arange(8)
+        np.testing.assert_array_equal(
+            model.score_user_event(0, events), model.score_user_event(5, events)
+        )
+
+    def test_cold_events_receive_scores(self, tiny_split, tiny_bundle):
+        model = ContextPopularity().fit(tiny_bundle)
+        cold = np.array(sorted(tiny_split.test_events))
+        scores = model.score_user_event(0, cold)
+        assert np.all(scores > 0)  # region/time mass exists for cold events
+
+    def test_partner_affinity_tracks_activity(self, tiny_bundle, tiny_ebsn):
+        model = ContextPopularity().fit(tiny_bundle)
+        counts = np.array(
+            [len(tiny_ebsn.events_of_user(u)) for u in range(tiny_ebsn.n_users)]
+        )
+        busiest = int(np.argmax(counts))
+        quietest = int(np.argmin(counts))
+        scores = model.score_user_user(0, np.array([busiest, quietest]))
+        assert scores[0] >= scores[1]
+
+    def test_personalised_model_beats_popularity(self, tiny_split, tiny_bundle):
+        # The sanity anchor: GEM must beat the no-model heuristic.
+        pop = ContextPopularity().fit(tiny_bundle)
+        gem = GEM.gem_a(dim=16, n_samples=120_000, seed=5).fit(tiny_bundle)
+        acc_pop = evaluate_event_recommendation(pop, tiny_split, seed=1)
+        acc_gem = evaluate_event_recommendation(gem, tiny_split, seed=1)
+        assert acc_gem.accuracy[1] > acc_pop.accuracy[1]

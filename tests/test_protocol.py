@@ -1,0 +1,192 @@
+"""Tests for the sampled-negative evaluation protocols (Section V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.interfaces import Recommender
+from repro.evaluation.protocol import (
+    evaluate_event_partner,
+    evaluate_event_recommendation,
+)
+
+
+class OracleModel(Recommender):
+    """Knows the ground truth: scores the true attendance pairs highest."""
+
+    def __init__(self, split):
+        self.split = split
+        self.attended = {
+            (u, x)
+            for u in range(split.ebsn.n_users)
+            for x in split.ebsn.events_of_user(u)
+        }
+        self.friends = {
+            frozenset(p) for p in split.ebsn.friendship_pairs()
+        }
+
+    def score_user_event(self, user, events):
+        return np.array(
+            [2.0 if (user, int(x)) in self.attended else 0.0 for x in events]
+        )
+
+    def score_user_user(self, user, others):
+        return np.array(
+            [1.0 if frozenset((user, int(o))) in self.friends else 0.0 for o in others]
+        )
+
+
+class RandomModel(Recommender):
+    """Scores everything with seeded noise (no information)."""
+
+    def __init__(self, seed=0):
+        self.rng = np.random.default_rng(seed)
+
+    def score_user_event(self, user, events):
+        return self.rng.random(len(events))
+
+    def score_user_user(self, user, others):
+        return self.rng.random(len(others))
+
+
+class TestEventProtocol:
+    def test_oracle_achieves_perfect_accuracy(self, tiny_split):
+        result = evaluate_event_recommendation(
+            OracleModel(tiny_split), tiny_split, n_negatives=50, seed=1
+        )
+        # Oracle ranks the positive at worst among other attended events.
+        assert result.accuracy[20] > 0.95
+        assert result.n_cases == len(tiny_split.test_edges)
+
+    def test_random_model_near_chance(self, tiny_split):
+        pool = len(tiny_split.test_events) - 1
+        result = evaluate_event_recommendation(
+            RandomModel(), tiny_split, n_negatives=1000, seed=1
+        )
+        chance = min(10 / (min(1000, pool) + 1), 1.0)
+        assert result.accuracy[10] == pytest.approx(chance, abs=0.25)
+
+    def test_max_cases_subsamples(self, tiny_split):
+        result = evaluate_event_recommendation(
+            RandomModel(), tiny_split, max_cases=5, seed=1
+        )
+        assert result.n_cases <= 5
+
+    def test_deterministic_given_seed(self, tiny_split):
+        a = evaluate_event_recommendation(RandomModel(3), tiny_split, seed=7)
+        b = evaluate_event_recommendation(RandomModel(3), tiny_split, seed=7)
+        assert a.accuracy == b.accuracy
+
+    def test_model_name_recorded(self, tiny_split):
+        result = evaluate_event_recommendation(
+            RandomModel(), tiny_split, model_name="rand", seed=1
+        )
+        assert result.model == "rand"
+        assert result.task == "cold-start-event"
+
+    def test_invalid_negatives_rejected(self, tiny_split):
+        with pytest.raises(ValueError):
+            evaluate_event_recommendation(RandomModel(), tiny_split, n_negatives=0)
+
+    def test_row_ordering(self, tiny_split):
+        result = evaluate_event_recommendation(RandomModel(), tiny_split, seed=1)
+        assert result.row() == [result.accuracy[n] for n in sorted(result.accuracy)]
+
+
+class TestPartnerProtocol:
+    def test_oracle_beats_random(self, tiny_split):
+        triples = tiny_split.partner_triples()
+        oracle = evaluate_event_partner(
+            OracleModel(tiny_split), tiny_split, triples, seed=1
+        )
+        rand = evaluate_event_partner(RandomModel(), tiny_split, triples, seed=1)
+        assert oracle.accuracy[10] > rand.accuracy[10]
+
+    def test_case_count(self, tiny_split):
+        triples = tiny_split.partner_triples()
+        result = evaluate_event_partner(
+            RandomModel(), tiny_split, triples, seed=1
+        )
+        assert result.n_cases == len(triples)
+
+    def test_negative_pool_sizes_respected(self, tiny_split):
+        calls = []
+
+        class SpyModel(RandomModel):
+            def score_triples(self, user, partners, events):
+                calls.append(len(partners))
+                return super().score_triples(user, partners, events)
+
+        triples = tiny_split.partner_triples()[:3]
+        evaluate_event_partner(
+            SpyModel(),
+            tiny_split,
+            triples,
+            n_negative_events=7,
+            n_negative_partners=9,
+            seed=1,
+        )
+        # 1 positive + up to 7 event-negatives + up to 9 partner-negatives.
+        assert all(c <= 17 for c in calls)
+
+    def test_candidate_filter_prunes_positive_to_miss(self, tiny_split):
+        triples = tiny_split.partner_triples()
+        nothing_allowed = lambda partners, events: np.zeros(
+            partners.shape[0], dtype=bool
+        )
+        result = evaluate_event_partner(
+            OracleModel(tiny_split),
+            tiny_split,
+            triples,
+            seed=1,
+            candidate_filter=nothing_allowed,
+        )
+        assert all(v == 0.0 for v in result.accuracy.values())
+
+    def test_candidate_filter_allowing_everything_is_identity(self, tiny_split):
+        triples = tiny_split.partner_triples()
+        allow_all = lambda partners, events: np.ones(
+            partners.shape[0], dtype=bool
+        )
+        base = evaluate_event_partner(
+            OracleModel(tiny_split), tiny_split, triples, seed=1
+        )
+        filtered = evaluate_event_partner(
+            OracleModel(tiny_split),
+            tiny_split,
+            triples,
+            seed=1,
+            candidate_filter=allow_all,
+        )
+        assert base.accuracy == filtered.accuracy
+
+    def test_zero_negative_pools_rejected(self, tiny_split):
+        triples = tiny_split.partner_triples()
+        with pytest.raises(ValueError):
+            evaluate_event_partner(
+                RandomModel(),
+                tiny_split,
+                triples,
+                n_negative_events=0,
+                n_negative_partners=0,
+            )
+
+
+class TestRankingMetricsInProtocol:
+    def test_event_protocol_reports_mrr_and_ndcg(self, tiny_split):
+        result = evaluate_event_recommendation(
+            OracleModel(tiny_split), tiny_split, seed=1
+        )
+        assert 0.0 < result.mrr <= 1.0
+        assert set(result.ndcg) == set(result.accuracy)
+        for n, value in result.ndcg.items():
+            assert 0.0 <= value <= 1.0
+            # Each top-n hit contributes at most 1, so NDCG@n <= Accuracy@n.
+            assert value <= result.accuracy[n] + 1e-9
+
+    def test_partner_protocol_reports_mrr(self, tiny_split):
+        triples = tiny_split.partner_triples()
+        oracle = evaluate_event_partner(
+            OracleModel(tiny_split), tiny_split, triples, seed=1
+        )
+        rand = evaluate_event_partner(RandomModel(), tiny_split, triples, seed=1)
+        assert oracle.mrr > rand.mrr

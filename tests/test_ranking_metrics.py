@@ -1,0 +1,80 @@
+"""Tests for the MRR/NDCG ranking metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import RankingMetrics, ndcg_at_n, reciprocal_rank
+
+
+class TestReciprocalRank:
+    def test_values(self):
+        assert reciprocal_rank(1.0) == 1.0
+        assert reciprocal_rank(4.0) == 0.25
+
+    def test_miss_contributes_zero(self):
+        assert reciprocal_rank(float("inf")) == 0.0
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            reciprocal_rank(0.5)
+
+
+class TestNdcg:
+    def test_rank_one_is_perfect(self):
+        assert ndcg_at_n(1.0, 10) == pytest.approx(1.0)
+
+    def test_outside_cutoff_is_zero(self):
+        assert ndcg_at_n(11.0, 10) == 0.0
+
+    def test_discount_matches_formula(self):
+        assert ndcg_at_n(3.0, 10) == pytest.approx(1.0 / np.log2(4.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ndcg_at_n(1.0, 0)
+        with pytest.raises(ValueError):
+            ndcg_at_n(0.0, 5)
+
+    @given(st.floats(min_value=1.0, max_value=1000.0))
+    def test_bounded_and_monotone(self, rank):
+        value = ndcg_at_n(rank, 100)
+        assert 0.0 <= value <= 1.0
+        assert value <= ndcg_at_n(max(rank - 0.5, 1.0), 100) + 1e-12
+
+
+class TestRankingMetricsAccumulator:
+    def test_mrr_average(self):
+        m = RankingMetrics()
+        m.add_case(1.0)
+        m.add_case(2.0)
+        assert m.mrr == pytest.approx(0.75)
+        assert m.n_cases == 2
+
+    def test_ndcg_per_cutoff(self):
+        m = RankingMetrics(n_values=(1, 5))
+        m.add_case(1.0)
+        m.add_case(3.0)
+        assert m.ndcg(1) == pytest.approx(0.5)  # only the rank-1 case hits
+        assert m.ndcg(5) == pytest.approx((1.0 + 1.0 / np.log2(4.0)) / 2)
+
+    def test_empty_is_zero(self):
+        m = RankingMetrics()
+        assert m.mrr == 0.0
+        assert m.ndcg(5) == 0.0
+
+    def test_untracked_cutoff(self):
+        with pytest.raises(KeyError):
+            RankingMetrics(n_values=(5,)).ndcg(10)
+
+    def test_invalid_n_values(self):
+        with pytest.raises(ValueError):
+            RankingMetrics(n_values=())
+
+    def test_misses_drag_everything_down(self):
+        m = RankingMetrics()
+        m.add_case(float("inf"))
+        m.add_case(1.0)
+        assert m.mrr == pytest.approx(0.5)
+        assert m.ndcg(10) == pytest.approx(0.5)

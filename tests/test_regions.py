@@ -1,0 +1,68 @@
+"""Tests for venue-to-region assignment (DBSCAN + singleton promotion)."""
+
+import numpy as np
+import pytest
+
+from repro.ebsn.entities import Venue
+from repro.ebsn.regions import RegionAssignment, assign_regions
+
+
+def cluster(lat0, lon0, n, spread=0.002, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        Venue(f"v{lat0}-{lon0}-{i}", lat0 + rng.normal(0, spread), lon0 + rng.normal(0, spread))
+        for i in range(n)
+    ]
+
+
+class TestAssignRegions:
+    def test_empty_input(self):
+        regions = assign_regions([])
+        assert regions.n_regions == 0
+        assert regions.venue_ids == []
+
+    def test_two_clusters_two_regions(self):
+        venues = cluster(39.9, 116.4, 8) + cluster(40.1, 116.7, 8, seed=1)
+        regions = assign_regions(venues, eps_km=1.0, min_samples=3)
+        assert regions.n_clustered_regions == 2
+        assert regions.n_regions == 2
+        labels = regions.labels
+        assert len(set(labels[:8])) == 1
+        assert len(set(labels[8:])) == 1
+        assert labels[0] != labels[8]
+
+    def test_noise_promoted_to_singletons(self):
+        venues = cluster(39.9, 116.4, 8) + [Venue("lonely", 41.5, 118.0)]
+        regions = assign_regions(venues, eps_km=1.0, min_samples=3)
+        assert regions.n_regions == regions.n_clustered_regions + 1
+        # Every venue gets a valid region id.
+        assert regions.labels.min() >= 0
+        assert regions.labels.max() < regions.n_regions
+
+    def test_all_noise_all_singletons(self):
+        venues = [
+            Venue("a", 39.0, 116.0),
+            Venue("b", 40.0, 117.0),
+            Venue("c", 41.0, 118.0),
+        ]
+        regions = assign_regions(venues, eps_km=0.5, min_samples=2)
+        assert regions.n_clustered_regions == 0
+        assert regions.n_regions == 3
+        assert sorted(regions.labels.tolist()) == [0, 1, 2]
+
+    def test_centroids_near_cluster_centres(self):
+        venues = cluster(39.9, 116.4, 10)
+        regions = assign_regions(venues, eps_km=1.0, min_samples=3)
+        lat, lon = regions.centroids[0]
+        assert lat == pytest.approx(39.9, abs=0.01)
+        assert lon == pytest.approx(116.4, abs=0.01)
+
+    def test_as_dict_and_region_of(self):
+        venues = cluster(39.9, 116.4, 5)
+        regions = assign_regions(venues, eps_km=1.0, min_samples=2)
+        mapping = regions.as_dict()
+        assert set(mapping) == {v.venue_id for v in venues}
+        first = venues[0].venue_id
+        assert regions.region_of(first) == mapping[first]
+        with pytest.raises(KeyError):
+            regions.region_of("ghost")

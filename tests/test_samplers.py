@@ -1,0 +1,125 @@
+"""Tests for the static noise samplers and the truncated Geometric law."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.samplers import (
+    DegreeNoiseSampler,
+    UniformNoiseSampler,
+    sample_truncated_geometric,
+)
+
+
+class TestUniformSampler:
+    def test_range(self, rng):
+        sampler = UniformNoiseSampler(10)
+        out = sampler.sample(rng, 500)
+        assert out.min() >= 0 and out.max() < 10
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            UniformNoiseSampler(0)
+
+    def test_candidate_restriction(self, rng):
+        sampler = UniformNoiseSampler(100, candidates=np.array([3, 7, 42]))
+        out = sampler.sample(rng, 300)
+        assert set(out.tolist()) <= {3, 7, 42}
+
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(ValueError):
+            UniformNoiseSampler(10, candidates=np.array([], dtype=np.int64))
+
+    def test_batch_shape(self, rng):
+        sampler = UniformNoiseSampler(10)
+        out = sampler.sample_batch(rng, np.zeros((6, 4)), 3)
+        assert out.shape == (6, 3)
+
+    def test_roughly_uniform(self, rng):
+        sampler = UniformNoiseSampler(4)
+        out = sampler.sample(rng, 40_000)
+        freq = np.bincount(out, minlength=4) / out.size
+        np.testing.assert_allclose(freq, 0.25, atol=0.02)
+
+
+class TestDegreeSampler:
+    def test_zero_degree_nodes_never_sampled(self, rng):
+        sampler = DegreeNoiseSampler(np.array([0.0, 5.0, 0.0, 3.0]))
+        out = sampler.sample(rng, 1000)
+        assert set(out.tolist()) <= {1, 3}
+
+    def test_power_weighting(self, rng):
+        degrees = np.array([1.0, 16.0])
+        sampler = DegreeNoiseSampler(degrees, power=0.75)
+        out = sampler.sample(rng, 50_000)
+        # Expected ratio 16^0.75 : 1 = 8 : 1.
+        freq1 = (out == 1).mean()
+        assert freq1 == pytest.approx(8 / 9, abs=0.02)
+
+    def test_power_zero_is_uniform_over_present_nodes(self, rng):
+        sampler = DegreeNoiseSampler(np.array([1.0, 100.0]), power=0.0)
+        out = sampler.sample(rng, 40_000)
+        assert (out == 0).mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_rejects_all_zero_degrees(self):
+        with pytest.raises(ValueError):
+            DegreeNoiseSampler(np.zeros(4))
+
+    def test_rejects_negative_degrees(self):
+        with pytest.raises(ValueError):
+            DegreeNoiseSampler(np.array([1.0, -1.0]))
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            DegreeNoiseSampler(np.ones(3), power=-1.0)
+
+    def test_batch_shape(self, rng):
+        sampler = DegreeNoiseSampler(np.arange(1.0, 6.0))
+        out = sampler.sample_batch(rng, np.zeros((4, 2)), 2)
+        assert out.shape == (4, 2)
+
+
+class TestTruncatedGeometric:
+    def test_range(self, rng):
+        out = sample_truncated_geometric(rng, lam=5.0, n=20, size=2000)
+        assert out.min() >= 0 and out.max() < 20
+
+    def test_monotone_decreasing_mass(self, rng):
+        out = sample_truncated_geometric(rng, lam=10.0, n=50, size=100_000)
+        freq = np.bincount(out, minlength=50)
+        # Rank 0 strictly more likely than rank 25, which beats rank 49.
+        assert freq[0] > freq[25] > freq[49]
+
+    def test_matches_analytic_distribution(self, rng):
+        lam, n = 7.0, 30
+        out = sample_truncated_geometric(rng, lam=lam, n=n, size=200_000)
+        freq = np.bincount(out, minlength=n) / out.size
+        expected = np.exp(-np.arange(n) / lam)
+        expected /= expected.sum()
+        np.testing.assert_allclose(freq, expected, atol=0.004)
+
+    def test_large_lambda_is_nearly_uniform(self, rng):
+        out = sample_truncated_geometric(rng, lam=1e9, n=10, size=100_000)
+        freq = np.bincount(out, minlength=10) / out.size
+        np.testing.assert_allclose(freq, 0.1, atol=0.01)
+
+    def test_small_lambda_concentrates_on_rank_zero(self, rng):
+        out = sample_truncated_geometric(rng, lam=0.25, n=100, size=10_000)
+        assert (out == 0).mean() > 0.9
+
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(ValueError):
+            sample_truncated_geometric(rng, lam=0.0, n=10, size=1)
+        with pytest.raises(ValueError):
+            sample_truncated_geometric(rng, lam=1.0, n=0, size=1)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1e6),
+        st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_within_bounds(self, lam, n):
+        rng = np.random.default_rng(0)
+        out = sample_truncated_geometric(rng, lam=lam, n=n, size=64)
+        assert out.min() >= 0 and out.max() < n

@@ -1,0 +1,104 @@
+"""Tests for the similarity/explanation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import (
+    cosine_similarity_matrix,
+    cross_type_neighbors,
+    explain_event,
+    nearest_neighbors,
+)
+from repro.ebsn.text import build_vocabulary
+
+
+class TestCosineMatrix:
+    def test_identity_on_unit_vectors(self):
+        a = np.eye(3)
+        sims = cosine_similarity_matrix(a, a)
+        np.testing.assert_allclose(sims, np.eye(3))
+
+    def test_scale_invariance(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[10.0, 20.0], [2.0, -1.0]])
+        sims = cosine_similarity_matrix(a, b)
+        assert sims[0, 0] == pytest.approx(1.0)
+        assert sims[0, 1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_vectors_give_zero_not_nan(self):
+        a = np.zeros((1, 3))
+        b = np.ones((2, 3))
+        sims = cosine_similarity_matrix(a, b)
+        assert np.all(sims == 0.0)
+        assert not np.any(np.isnan(sims))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cosine_similarity_matrix(np.ones((2, 3)), np.ones((2, 4)))
+
+
+class TestNearestNeighbors:
+    def test_finds_the_aligned_row(self):
+        m = np.array(
+            [[1.0, 0.0], [0.9, 0.1], [0.0, 1.0], [0.1, 0.9]], dtype=np.float64
+        )
+        out = nearest_neighbors(m, 0, n=1)
+        assert out[0][0] == 1
+
+    def test_excludes_self_by_default(self):
+        m = np.random.default_rng(0).random((5, 3))
+        out = nearest_neighbors(m, 2, n=4)
+        assert all(i != 2 for i, _ in out)
+
+    def test_include_self(self):
+        m = np.random.default_rng(0).random((5, 3))
+        out = nearest_neighbors(m, 2, n=1, exclude_self=False)
+        assert out[0][0] == 2
+        assert out[0][1] == pytest.approx(1.0)
+
+    def test_scores_descending(self):
+        m = np.random.default_rng(1).random((10, 4))
+        out = nearest_neighbors(m, 0, n=9)
+        scores = [s for _, s in out]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            nearest_neighbors(np.ones((2, 2)), 0, n=0)
+
+
+class TestCrossTypeAndExplain:
+    def test_cross_type_alignment(self):
+        words = np.array([[1.0, 0.0], [0.0, 1.0], [0.7, 0.7]])
+        event = np.array([0.0, 2.0])
+        out = cross_type_neighbors(event, words, n=2)
+        assert out[0][0] == 1
+
+    def test_explain_event_names_topic_words(self):
+        vocab = build_vocabulary([["jazz"], ["piano"], ["code"]])
+        word_matrix = np.zeros((3, 4))
+        word_matrix[vocab.id_of("jazz")] = [1, 0, 0, 0]
+        word_matrix[vocab.id_of("piano")] = [0.9, 0.1, 0, 0]
+        word_matrix[vocab.id_of("code")] = [0, 0, 1, 0]
+        event_vec = np.array([1.0, 0.05, 0.0, 0.0])
+        words = explain_event(event_vec, word_matrix, vocab, n=2)
+        assert [w for w, _ in words] == ["jazz", "piano"]
+
+    def test_explain_trained_model_recovers_topics(self, tiny_bundle, tiny_truth, tiny_ebsn):
+        from repro.core import GEM
+        from repro.ebsn.graphs import EntityType
+
+        model = GEM.gem_a(dim=16, n_samples=80_000, seed=5).fit(tiny_bundle)
+        vocab = tiny_bundle.vocabulary
+        words_m = model.embeddings.of(EntityType.WORD)
+        hits = 0
+        checked = 0
+        for xi in range(0, tiny_ebsn.n_events, 5):
+            topic = tiny_truth.event_topics[xi]
+            top_words = explain_event(
+                model.event_vectors[xi], words_m, vocab, n=5
+            )
+            checked += 1
+            if any(w.startswith(f"t{topic}w") for w, _ in top_words):
+                hits += 1
+        assert hits >= checked // 2

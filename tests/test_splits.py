@@ -1,0 +1,130 @@
+"""Tests for the chronological splitter and ground-truth builders."""
+
+import pytest
+
+from repro.data.splits import PartnerTriple, chronological_split
+from repro.ebsn.graphs import EVENT_TIME, EVENT_WORD, USER_EVENT, USER_USER
+
+
+class TestChronologicalSplit:
+    def test_partition_covers_all_events(self, tiny_ebsn, tiny_split):
+        union = (
+            tiny_split.train_events
+            | tiny_split.val_events
+            | tiny_split.test_events
+        )
+        assert union == frozenset(range(tiny_ebsn.n_events))
+
+    def test_fractions_follow_paper(self, tiny_ebsn, tiny_split):
+        n = tiny_ebsn.n_events
+        assert len(tiny_split.train_events) == pytest.approx(0.7 * n, abs=1)
+        holdout = len(tiny_split.val_events) + len(tiny_split.test_events)
+        assert len(tiny_split.val_events) == pytest.approx(holdout / 3, abs=1)
+
+    def test_chronology_respected(self, tiny_ebsn, tiny_split):
+        train_max = max(
+            tiny_ebsn.events[x].start_time for x in tiny_split.train_events
+        )
+        holdout_min = min(
+            tiny_ebsn.events[x].start_time
+            for x in tiny_split.val_events | tiny_split.test_events
+        )
+        assert train_max <= holdout_min
+
+    def test_validation_precedes_test(self, tiny_ebsn, tiny_split):
+        if not tiny_split.val_events:
+            pytest.skip("empty validation split")
+        val_max = max(tiny_ebsn.events[x].start_time for x in tiny_split.val_events)
+        test_min = min(tiny_ebsn.events[x].start_time for x in tiny_split.test_events)
+        assert val_max <= test_min
+
+    def test_edges_partitioned_consistently(self, tiny_ebsn, tiny_split):
+        n_edges = (
+            len(tiny_split.train_edges)
+            + len(tiny_split.val_edges)
+            + len(tiny_split.test_edges)
+        )
+        assert n_edges == len(tiny_ebsn.attendances)
+        for _u, x in tiny_split.train_edges:
+            assert x in tiny_split.train_events
+        for _u, x in tiny_split.test_edges:
+            assert x in tiny_split.test_events
+
+    def test_invalid_fractions_rejected(self, tiny_ebsn):
+        with pytest.raises(ValueError):
+            chronological_split(tiny_ebsn, train_fraction=0.0)
+        with pytest.raises(ValueError):
+            chronological_split(tiny_ebsn, validation_fraction_of_holdout=1.0)
+
+
+class TestTrainingBundle:
+    def test_cold_events_have_no_attendance_edges(self, tiny_split, tiny_bundle):
+        ue_events = set(tiny_bundle[USER_EVENT].right.tolist())
+        assert not (ue_events & tiny_split.test_events)
+        assert not (ue_events & tiny_split.val_events)
+
+    def test_cold_events_keep_content_edges(self, tiny_split, tiny_bundle):
+        time_events = set(tiny_bundle[EVENT_TIME].left.tolist())
+        assert tiny_split.test_events <= time_events
+        word_events = set(tiny_bundle[EVENT_WORD].left.tolist())
+        assert len(tiny_split.test_events & word_events) > 0
+
+    def test_user_user_weights_count_training_events_only(
+        self, tiny_ebsn, tiny_split, tiny_bundle
+    ):
+        uu = tiny_bundle[USER_USER]
+        for a, b, w in zip(uu.left, uu.right, uu.weights):
+            common_train = (
+                tiny_ebsn.common_events(int(a), int(b)) & tiny_split.train_events
+            )
+            assert w == 1.0 + len(common_train)
+
+
+class TestPartnerGroundTruth:
+    def test_triples_are_friend_coattendees_of_test_events(
+        self, tiny_ebsn, tiny_split
+    ):
+        triples = tiny_split.partner_triples()
+        assert triples, "tiny dataset must produce at least one triple"
+        for t in triples:
+            assert t.event in tiny_split.test_events
+            assert tiny_ebsn.are_friends(t.user, t.partner)
+            attendees = tiny_ebsn.users_of_event(t.event)
+            assert t.user in attendees and t.partner in attendees
+
+    def test_one_direction_by_default(self, tiny_split):
+        triples = tiny_split.partner_triples()
+        keys = {(t.user, t.partner, t.event) for t in triples}
+        for t in triples:
+            assert (t.partner, t.user, t.event) not in keys
+
+    def test_both_directions_doubles(self, tiny_split):
+        one = tiny_split.partner_triples()
+        both = tiny_split.partner_triples(both_directions=True)
+        assert len(both) == 2 * len(one)
+
+    def test_custom_event_set(self, tiny_split):
+        triples = tiny_split.partner_triples(events=tiny_split.val_events)
+        for t in triples:
+            assert t.event in tiny_split.val_events
+
+    def test_scenario2_excluded_pairs(self, tiny_split):
+        triples = tiny_split.partner_triples()
+        excluded = tiny_split.scenario2_excluded_pairs(triples)
+        assert excluded == {t.pair_key() for t in triples}
+        # Pairs are canonical (min, max).
+        for a, b in excluded:
+            assert a < b
+
+    def test_scenario2_bundle_drops_links(self, tiny_split):
+        excluded = tiny_split.scenario2_excluded_pairs()
+        bundle = tiny_split.training_bundle(excluded_friend_pairs=excluded)
+        uu = bundle[USER_USER]
+        present = {
+            (min(a, b), max(a, b))
+            for a, b in zip(uu.left.tolist(), uu.right.tolist())
+        }
+        assert not (present & excluded)
+
+    def test_pair_key_orientation(self):
+        assert PartnerTriple(5, 2, 9).pair_key() == (2, 5)

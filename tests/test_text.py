@@ -1,0 +1,136 @@
+"""Tests for the TF-IDF text pipeline (Definition 6 support)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ebsn.text import (
+    STOPWORDS,
+    build_vocabulary,
+    tfidf_corpus,
+    tfidf_document,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Jazz Night DOWNTOWN") == ["jazz", "night", "downtown"]
+
+    def test_drops_stopwords(self):
+        assert tokenize("the jazz and the blues") == ["jazz", "blues"]
+
+    def test_drops_single_characters(self):
+        assert tokenize("a b jazz c") == ["jazz"]
+
+    def test_keeps_numbers(self):
+        assert tokenize("room 42 floor 3b") == ["room", "42", "floor", "3b"]
+
+    def test_empty_and_punctuation_only(self):
+        assert tokenize("") == []
+        assert tokenize("!!! ... ???") == []
+
+    def test_apostrophes(self):
+        assert "night's" in tokenize("the night's best")
+
+    def test_custom_stopwords(self):
+        assert tokenize("jazz night", stopwords=frozenset({"jazz"})) == ["night"]
+
+    def test_default_stopwords_frozen(self):
+        assert isinstance(STOPWORDS, frozenset)
+        assert "the" in STOPWORDS
+
+
+class TestVocabulary:
+    def test_build_and_lookup(self):
+        docs = [["jazz", "blues"], ["jazz", "rock"]]
+        vocab = build_vocabulary(docs)
+        assert len(vocab) == 3
+        assert "jazz" in vocab
+        assert vocab.word_of(vocab.id_of("jazz")) == "jazz"
+
+    def test_document_frequencies(self):
+        docs = [["jazz", "jazz", "blues"], ["jazz"]]
+        vocab = build_vocabulary(docs)
+        # df counts documents, not occurrences.
+        assert vocab.doc_freq[vocab.id_of("jazz")] == 2
+        assert vocab.doc_freq[vocab.id_of("blues")] == 1
+
+    def test_min_doc_freq_prunes(self):
+        docs = [["jazz", "blues"], ["jazz"]]
+        vocab = build_vocabulary(docs, min_doc_freq=2)
+        assert "jazz" in vocab
+        assert "blues" not in vocab
+
+    def test_max_doc_ratio_prunes_ubiquitous_words(self):
+        docs = [["jazz", "x"], ["jazz", "y"], ["jazz", "z"], ["x", "y"]]
+        vocab = build_vocabulary(docs, max_doc_ratio=0.5)
+        assert "jazz" not in vocab  # in 3/4 docs > 0.5
+        assert "x" in vocab
+
+    def test_max_size_keeps_most_frequent(self):
+        docs = [["jazz", "blues"], ["jazz", "rock"], ["jazz"]]
+        vocab = build_vocabulary(docs, max_size=1)
+        assert len(vocab) == 1
+        assert "jazz" in vocab
+
+    def test_deterministic_ordering(self):
+        docs = [["b", "aa"], ["aa", "cc"], ["cc", "b"]]
+        v1 = build_vocabulary(docs)
+        v2 = build_vocabulary(docs)
+        assert v1.id_to_word == v2.id_to_word
+
+    def test_idf_formula(self):
+        docs = [["jazz"], ["jazz"], ["blues"], ["rock"]]
+        vocab = build_vocabulary(docs)
+        assert vocab.idf(vocab.id_of("jazz")) == pytest.approx(math.log(4 / 2))
+        assert vocab.idf(vocab.id_of("blues")) == pytest.approx(math.log(4 / 1))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            build_vocabulary([], min_doc_freq=0)
+        with pytest.raises(ValueError):
+            build_vocabulary([], max_doc_ratio=0.0)
+
+
+class TestTfidf:
+    def test_weights_are_tf_times_idf(self):
+        docs = [["jazz", "jazz", "blues"], ["rock"]]
+        vocab = build_vocabulary(docs)
+        weights = tfidf_document(docs[0], vocab)
+        assert weights[vocab.id_of("jazz")] == pytest.approx(2 * math.log(2 / 1))
+        assert weights[vocab.id_of("blues")] == pytest.approx(1 * math.log(2 / 1))
+
+    def test_word_in_every_document_gets_dropped(self):
+        docs = [["jazz", "blues"], ["jazz", "rock"]]
+        vocab = build_vocabulary(docs)
+        weights = tfidf_document(docs[0], vocab)
+        assert vocab.id_of("jazz") not in weights  # idf = log(1) = 0
+        assert vocab.id_of("blues") in weights
+
+    def test_out_of_vocabulary_tokens_ignored(self):
+        vocab = build_vocabulary([["jazz"], ["blues"]])
+        weights = tfidf_document(["jazz", "unknown"], vocab)
+        assert len(weights) == 1
+
+    def test_corpus_shape(self):
+        docs = [["jazz"], ["blues", "rock"], []]
+        vocab = build_vocabulary(docs)
+        corpus = tfidf_corpus(docs, vocab)
+        assert len(corpus) == 3
+        assert corpus[2] == {}
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from(["aa", "bb", "cc", "dd"]), max_size=8),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_weights_always_positive(self, docs):
+        vocab = build_vocabulary(docs)
+        for doc in docs:
+            for weight in tfidf_document(doc, vocab).values():
+                assert weight > 0

@@ -1,0 +1,107 @@
+"""Tests for the 33 discrete time slots (Definition 5 / Section II)."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ebsn import timeslots
+
+
+def ts(year, month, day, hour=0, minute=0):
+    return dt.datetime(
+        year, month, day, hour, minute, tzinfo=dt.timezone.utc
+    ).timestamp()
+
+
+class TestSlotLayout:
+    def test_total_slot_count_is_33(self):
+        assert timeslots.N_TIME_SLOTS == 33
+
+    def test_offsets(self):
+        assert timeslots.HOUR_SLOT_OFFSET == 0
+        assert timeslots.DAY_SLOT_OFFSET == 24
+        assert timeslots.DAYTYPE_SLOT_OFFSET == 31
+
+    def test_all_slot_names_has_33_unique_entries(self):
+        names = timeslots.all_slot_names()
+        assert len(names) == 33
+        assert len(set(names)) == 33
+
+
+class TestPaperExample:
+    def test_thursday_evening_example(self):
+        # The paper: "2017-06-29 18:00" -> {18:00, Thursday, weekday}.
+        t = ts(2017, 6, 29, 18, 0)
+        h, d, w = timeslots.time_slots(t)
+        assert timeslots.slot_name(h) == "18:00"
+        assert timeslots.slot_name(d) == "Thursday"
+        assert timeslots.slot_name(w) == "weekday"
+
+
+class TestHourSlots:
+    @pytest.mark.parametrize("hour", range(24))
+    def test_every_hour_maps_to_its_slot(self, hour):
+        assert timeslots.hour_slot(ts(2020, 3, 2, hour)) == hour
+
+    def test_minutes_do_not_change_hour_slot(self):
+        assert timeslots.hour_slot(ts(2020, 3, 2, 9, 59)) == 9
+
+
+class TestDaySlots:
+    @pytest.mark.parametrize(
+        "day,expected",
+        [(2, "Monday"), (3, "Tuesday"), (4, "Wednesday"), (5, "Thursday"),
+         (6, "Friday"), (7, "Saturday"), (8, "Sunday")],
+    )
+    def test_week_of_march_2020(self, day, expected):
+        slot = timeslots.day_slot(ts(2020, 3, day))
+        assert timeslots.slot_name(slot) == expected
+
+
+class TestDaytypeSlots:
+    def test_saturday_is_weekend(self):
+        assert timeslots.daytype_slot(ts(2020, 3, 7)) == timeslots.WEEKEND_SLOT
+
+    def test_sunday_is_weekend(self):
+        assert timeslots.daytype_slot(ts(2020, 3, 8)) == timeslots.WEEKEND_SLOT
+
+    def test_friday_is_weekday(self):
+        assert timeslots.daytype_slot(ts(2020, 3, 6)) == timeslots.WEEKDAY_SLOT
+
+
+class TestTimeSlotsTriple:
+    @given(st.integers(min_value=0, max_value=2_000_000_000))
+    def test_three_slots_in_disjoint_ranges(self, timestamp):
+        h, d, w = timeslots.time_slots(float(timestamp))
+        assert 0 <= h < 24
+        assert 24 <= d < 31
+        assert w in (31, 32)
+
+    @given(st.integers(min_value=0, max_value=2_000_000_000))
+    def test_triple_consistent_with_individual_functions(self, timestamp):
+        t = float(timestamp)
+        assert timeslots.time_slots(t) == (
+            timeslots.hour_slot(t),
+            timeslots.day_slot(t),
+            timeslots.daytype_slot(t),
+        )
+
+    @given(st.integers(min_value=0, max_value=2_000_000_000))
+    def test_weekend_iff_day_slot_is_sat_or_sun(self, timestamp):
+        t = float(timestamp)
+        _h, d, w = timeslots.time_slots(t)
+        is_weekend_day = timeslots.slot_name(d) in ("Saturday", "Sunday")
+        assert (w == timeslots.WEEKEND_SLOT) == is_weekend_day
+
+
+class TestSlotName:
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            timeslots.slot_name(33)
+        with pytest.raises(ValueError):
+            timeslots.slot_name(-1)
+
+    def test_hour_names_are_zero_padded(self):
+        assert timeslots.slot_name(7) == "07:00"

@@ -1,0 +1,215 @@
+"""Tests for the joint multi-graph trainer (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.embeddings import EmbeddingSet
+from repro.core.objective import positive_log_likelihood
+from repro.core.trainer import JointTrainer, TrainerConfig
+from repro.ebsn.graphs import USER_EVENT, EntityType
+
+
+class TestTrainerConfig:
+    def test_defaults_validate(self):
+        TrainerConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("dim", 0),
+            ("learning_rate", 0.0),
+            ("n_negatives", 0),
+            ("sampler", "magic"),
+            ("graph_sampling", "sometimes"),
+            ("lam", 0.0),
+            ("batch_size", 0),
+            ("decay_horizon", 0),
+            ("decay_floor", 2.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        config = TrainerConfig(**{field: value})
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_variant_constructors(self):
+        assert TrainerConfig.gem_a().sampler == "adaptive"
+        assert TrainerConfig.gem_p().sampler == "degree"
+        pte = TrainerConfig.pte()
+        assert not pte.bidirectional
+        assert pte.graph_sampling == "uniform"
+        assert pte.sampler == "degree"
+
+    def test_variant_overrides(self):
+        cfg = TrainerConfig.gem_a(dim=7, lam=55.0)
+        assert cfg.dim == 7 and cfg.lam == 55.0
+
+
+class TestTrainerConstruction:
+    def test_creates_embeddings_for_all_entity_types(self, tiny_bundle):
+        trainer = JointTrainer(tiny_bundle, TrainerConfig(dim=8))
+        for etype, count in tiny_bundle.entity_counts.items():
+            assert trainer.embeddings.of(etype).shape == (count, 8)
+
+    def test_accepts_external_embeddings(self, tiny_bundle):
+        emb = EmbeddingSet.random(tiny_bundle.entity_counts, 8, rng=0)
+        trainer = JointTrainer(tiny_bundle, TrainerConfig(dim=8), embeddings=emb)
+        assert trainer.embeddings is emb
+
+    def test_rejects_dim_mismatch(self, tiny_bundle):
+        emb = EmbeddingSet.random(tiny_bundle.entity_counts, 4, rng=0)
+        with pytest.raises(ValueError):
+            JointTrainer(tiny_bundle, TrainerConfig(dim=8), embeddings=emb)
+
+
+class TestTraining:
+    @pytest.mark.parametrize("sampler", ["adaptive", "degree", "uniform"])
+    def test_single_steps_run_and_count(self, tiny_bundle, sampler):
+        trainer = JointTrainer(
+            tiny_bundle, TrainerConfig(dim=8, sampler=sampler, seed=3)
+        )
+        for _ in range(20):
+            prob = trainer.step()
+            assert 0.0 <= prob <= 1.0
+        assert trainer.steps_done == 20
+
+    def test_unidirectional_mode_steps(self, tiny_bundle):
+        trainer = JointTrainer(tiny_bundle, TrainerConfig.pte(dim=8, seed=3))
+        for _ in range(10):
+            trainer.step()
+        assert trainer.steps_done == 10
+
+    def test_train_reaches_requested_steps(self, tiny_bundle):
+        trainer = JointTrainer(tiny_bundle, TrainerConfig(dim=8, seed=3))
+        trainer.train(1000)
+        assert trainer.steps_done == 1000
+        trainer.train(500)
+        assert trainer.steps_done == 1500
+
+    def test_training_improves_positive_likelihood(self, tiny_bundle):
+        trainer = JointTrainer(tiny_bundle, TrainerConfig(dim=16, seed=3))
+        before = sum(
+            positive_log_likelihood(tiny_bundle[name], trainer.embeddings)
+            for name in tiny_bundle.names
+        )
+        trainer.train(30_000)
+        after = sum(
+            positive_log_likelihood(tiny_bundle[name], trainer.embeddings)
+            for name in tiny_bundle.names
+        )
+        assert after > before
+
+    def test_nonnegative_projection_holds_throughout(self, tiny_bundle):
+        trainer = JointTrainer(tiny_bundle, TrainerConfig(dim=8, seed=3))
+        trainer.train(5000)
+        for matrix in trainer.embeddings.matrices.values():
+            assert matrix.min() >= 0.0
+
+    def test_signed_mode_produces_negatives(self, tiny_bundle):
+        trainer = JointTrainer(
+            tiny_bundle, TrainerConfig(dim=8, seed=3, nonnegative=False)
+        )
+        trainer.train(5000)
+        assert trainer.embeddings.users.min() < 0.0
+
+    def test_callback_fires_at_requested_interval(self, tiny_bundle):
+        trainer = JointTrainer(tiny_bundle, TrainerConfig(dim=8, seed=3))
+        seen = []
+        trainer.train(1000, callback=lambda s, t: seen.append(s), callback_every=250)
+        assert seen == [250, 500, 750, 1000]
+
+    def test_log_every_records_entries(self, tiny_bundle):
+        trainer = JointTrainer(tiny_bundle, TrainerConfig(dim=8, seed=3))
+        trainer.train(600, log_every=200)
+        assert [e.step for e in trainer.log] == [200, 400, 600]
+        for entry in trainer.log:
+            assert 0.0 <= entry.mean_positive_probability <= 1.0
+
+    def test_negative_steps_rejected(self, tiny_bundle):
+        trainer = JointTrainer(tiny_bundle, TrainerConfig(dim=8))
+        with pytest.raises(ValueError):
+            trainer.train(-1)
+
+    def test_reproducible_given_seed(self, tiny_bundle):
+        def run():
+            trainer = JointTrainer(tiny_bundle, TrainerConfig(dim=8, seed=99))
+            trainer.train(2000)
+            return trainer.embeddings.users.copy()
+
+        np.testing.assert_array_equal(run(), run())
+
+
+class TestLearningRateDecay:
+    def test_constant_without_horizon(self, tiny_bundle):
+        trainer = JointTrainer(
+            tiny_bundle, TrainerConfig(dim=4, learning_rate=0.2)
+        )
+        trainer.train(500)
+        assert trainer.current_learning_rate() == 0.2
+
+    def test_linear_decay(self, tiny_bundle):
+        trainer = JointTrainer(
+            tiny_bundle,
+            TrainerConfig(dim=4, learning_rate=0.2, decay_horizon=1000),
+        )
+        assert trainer.current_learning_rate() == pytest.approx(0.2)
+        trainer.train(500)
+        assert trainer.current_learning_rate() == pytest.approx(0.1)
+
+    def test_floor_beyond_horizon(self, tiny_bundle):
+        trainer = JointTrainer(
+            tiny_bundle,
+            TrainerConfig(
+                dim=4, learning_rate=0.2, decay_horizon=100, decay_floor=0.01
+            ),
+        )
+        trainer.train(500)
+        assert trainer.current_learning_rate() == pytest.approx(0.2 * 0.01)
+
+
+class TestNoiseCandidateRestriction:
+    def test_cold_events_never_sampled_as_user_event_noise(self, tiny_split):
+        bundle = tiny_split.training_bundle()
+        trainer = JointTrainer(bundle, TrainerConfig(dim=8, seed=3))
+        state = trainer._states[USER_EVENT]
+        cold = tiny_split.test_events | tiny_split.val_events
+        rng = np.random.default_rng(0)
+        users = trainer.embeddings.of(EntityType.USER)
+        draws = state.right_sampler.sample_batch(rng, users[:32], 4)
+        assert not (set(draws.ravel().tolist()) & cold)
+
+    def test_degree_sampler_restricted_too(self, tiny_split):
+        bundle = tiny_split.training_bundle()
+        trainer = JointTrainer(bundle, TrainerConfig.gem_p(dim=8, seed=3))
+        state = trainer._states[USER_EVENT]
+        rng = np.random.default_rng(0)
+        draws = state.right_sampler.sample(rng, 500)
+        cold = tiny_split.test_events | tiny_split.val_events
+        assert not (set(draws.tolist()) & cold)
+
+
+class TestGraphSamplingProportions:
+    def test_proportional_sampling_tracks_edge_counts(self, tiny_bundle):
+        trainer = JointTrainer(
+            tiny_bundle,
+            TrainerConfig(dim=4, seed=3, graph_sampling="proportional", batch_size=1),
+        )
+        trainer.train(4000)
+        total_edges = sum(
+            tiny_bundle[name].n_edges for name in trainer._graph_names
+        )
+        for name in trainer._graph_names:
+            expected = tiny_bundle[name].n_edges / total_edges
+            observed = trainer.graph_sample_counts[name] / 4000
+            assert observed == pytest.approx(expected, abs=0.06), name
+
+    def test_uniform_sampling_equalises_graphs(self, tiny_bundle):
+        trainer = JointTrainer(
+            tiny_bundle,
+            TrainerConfig(dim=4, seed=3, graph_sampling="uniform", batch_size=1),
+        )
+        trainer.train(4000)
+        share = 1.0 / len(trainer._graph_names)
+        for name in trainer._graph_names:
+            observed = trainer.graph_sample_counts[name] / 4000
+            assert observed == pytest.approx(share, abs=0.06), name

@@ -1,0 +1,88 @@
+"""Tests for utility helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+    ensure_rng,
+    require,
+    spawn_rngs,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(5).random(3)
+        b = ensure_rng(5).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        children = spawn_rngs(np.random.default_rng(0), 3)
+        assert len(children) == 3
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 3
+
+    def test_deterministic_from_parent(self):
+        a = [g.random() for g in spawn_rngs(np.random.default_rng(1), 2)]
+        b = [g.random() for g in spawn_rngs(np.random.default_rng(1), 2)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(np.random.default_rng(0), -1)
+
+    def test_zero_children(self):
+        assert spawn_rngs(np.random.default_rng(0), 0) == []
+
+
+class TestValidationHelpers:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_check_positive(self):
+        check_positive("x", 0.1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+
+    def test_check_fraction_exclusive(self):
+        check_fraction("f", 0.5)
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0)
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.0)
+
+    def test_check_fraction_inclusive(self):
+        check_fraction("f", 0.0, inclusive=True)
+        check_fraction("f", 1.0, inclusive=True)
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.01, inclusive=True)
+
+    def test_check_probability_vector(self):
+        check_probability_vector("p", np.array([0.25, 0.75]))
+        with pytest.raises(ValueError):
+            check_probability_vector("p", np.array([0.5, 0.6]))
+        with pytest.raises(ValueError):
+            check_probability_vector("p", np.array([-0.1, 1.1]))
+        with pytest.raises(ValueError):
+            check_probability_vector("p", np.ones((2, 2)))
