@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Lint + tier-1 tests, the pre-merge gate.
+#
+#   ./scripts/check.sh
+#
+# Runs ruff (if installed — skipped with a warning otherwise, e.g. in
+# minimal containers) followed by the tier-1 pytest command from
+# ROADMAP.md.  Fails fast on the first problem.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks
+elif python -m ruff --version >/dev/null 2>&1; then
+    echo "== ruff (module) =="
+    python -m ruff check src tests benchmarks
+else
+    echo "== ruff not installed; skipping lint =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q

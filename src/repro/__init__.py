@@ -14,6 +14,9 @@ The package provides:
 * :mod:`repro.baselines`  — PCMF, CBPF, PER, PTE, CFAPR-E reimplemented;
 * :mod:`repro.online`     — the 2K+1 space transformation, top-k pruning
   and TA-based exact top-n retrieval (Section IV);
+* :mod:`repro.serving`    — the unified serving engine: pluggable
+  retrieval backends, versioned indices, incremental refresh, batched
+  queries, caching and query telemetry;
 * :mod:`repro.evaluation` — the paper's Accuracy@n protocols (Section V-B);
 * :mod:`repro.experiments`— one runner per table/figure of Section V.
 
@@ -40,10 +43,12 @@ __version__ = "1.0.0"
 from repro.core import GEM
 from repro.data import chronological_split, make_dataset
 from repro.online import EventPartnerRecommender
+from repro.serving import ServingEngine
 
 __all__ = [
     "GEM",
     "EventPartnerRecommender",
+    "ServingEngine",
     "chronological_split",
     "make_dataset",
     "__version__",

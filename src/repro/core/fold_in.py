@@ -159,3 +159,26 @@ class EventFoldIn:
         if not events:
             return np.zeros((0, self.embeddings.dim), dtype=np.float32)
         return np.stack([self.fold_in(e, config) for e in events])
+
+    def fold_into_engine(
+        self,
+        engine,
+        events: list[NewEventDescription],
+        config: FoldInConfig | None = None,
+    ) -> np.ndarray:
+        """Fold new arrivals straight into a serving engine.
+
+        Learns each event's vector against the frozen attribute
+        embeddings, assigns the next free global event ids, and calls
+        ``engine.refresh`` so the engine extends its candidate space
+        incrementally (no cold rebuild).  ``engine`` is any object with
+        the :class:`repro.serving.engine.ServingEngine` refresh contract.
+        Returns the assigned event ids.
+        """
+        vectors = self.fold_in_many(events, config)
+        new_ids = np.arange(
+            engine.n_events, engine.n_events + vectors.shape[0], dtype=np.int64
+        )
+        if new_ids.size:
+            engine.refresh(new_ids, new_event_vectors=vectors)
+        return new_ids

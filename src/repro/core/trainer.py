@@ -105,6 +105,16 @@ class TrainerConfig:
             )
         if self.lam <= 0:
             raise ValueError(f"lam must be > 0, got {self.lam}")
+        if self.init_scale <= 0:
+            raise ValueError(f"init_scale must be > 0, got {self.init_scale}")
+        if (
+            self.adaptive_refresh_interval is not None
+            and self.adaptive_refresh_interval < 1
+        ):
+            raise ValueError(
+                f"adaptive_refresh_interval must be >= 1 or None, "
+                f"got {self.adaptive_refresh_interval}"
+            )
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.decay_horizon is not None and self.decay_horizon <= 0:

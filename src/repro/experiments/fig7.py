@@ -9,7 +9,6 @@ events, i.e. pruning costs essentially no accuracy.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,7 +16,8 @@ import numpy as np
 from repro.evaluation import evaluate_event_partner
 from repro.evaluation.metrics import approximation_ratio
 from repro.experiments.context import ExperimentContext
-from repro.online import EventPartnerRecommender, top_k_events_per_partner
+from repro.online import top_k_events_per_partner
+from repro.serving import MetricsRegistry, ServingEngine
 
 DEFAULT_K_FRACTIONS = (0.01, 0.02, 0.05, 0.10)
 
@@ -60,7 +60,11 @@ def run_fig7(
     n_queries: int = 15,
     top_n: int = 10,
 ) -> PruningResult:
-    """Sweep the pruning level k and measure time + approximation ratio."""
+    """Sweep the pruning level k and measure time + approximation ratio.
+
+    Query times come from the serving engines' telemetry records
+    (caching disabled so each query is a real retrieval).
+    """
     ctx = ctx or ExperimentContext()
     model = ctx.model("GEM-A")
     candidate_events = np.array(sorted(ctx.split.test_events), dtype=np.int64)
@@ -90,28 +94,22 @@ def run_fig7(
         k = max(1, int(round(fraction * n_events)))
         k_values[fraction] = k
 
-        ta = EventPartnerRecommender(
-            user_vectors,
-            event_vectors,
-            candidate_events,
-            top_k_events=k,
-            method="ta",
-        )
-        bf = EventPartnerRecommender(
-            user_vectors,
-            event_vectors,
-            candidate_events,
-            top_k_events=k,
-            method="bruteforce",
-        )
-        t0 = time.perf_counter()
-        for u in users:
-            ta.query(int(u), top_n)
-        ta_s[fraction] = (time.perf_counter() - t0) / n_queries
-        t0 = time.perf_counter()
-        for u in users:
-            bf.query(int(u), top_n)
-        bf_s[fraction] = (time.perf_counter() - t0) / n_queries
+        metrics = MetricsRegistry()
+        for name, out in (("ta", ta_s), ("bruteforce", bf_s)):
+            engine = ServingEngine(
+                user_vectors,
+                event_vectors,
+                candidate_events,
+                top_k_events=k,
+                backend=name,
+                cache_size=0,
+                metrics=metrics,
+            )
+            for u in users:
+                engine.query(int(u), top_n)
+            out[fraction] = metrics.summary(backend=name)[
+                "mean_seconds_total"
+            ]
 
         # Approximation ratio: the protocol restricted to surviving pairs.
         rows, cols = top_k_events_per_partner(

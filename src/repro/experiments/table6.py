@@ -7,18 +7,19 @@ only ~8% of the candidate pairs on average for top-10.
 
 Absolute times differ from the paper's Java/200GB-server setup; the
 reproduced quantities are the TA/BF speed ratio and the fraction of pairs
-TA examines.
+TA examines.  Both are read from the serving engine's
+:class:`~repro.serving.telemetry.QueryStats` telemetry rather than
+ad-hoc timing loops.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.experiments.context import ExperimentContext
-from repro.online import EventPartnerRecommender
+from repro.serving import MetricsRegistry, ServingEngine
 
 DEFAULT_TOP_N = (5, 10, 15, 20)
 
@@ -70,52 +71,52 @@ def run_table6(
 
     ``top_k_events=None`` uses the full cross product of test events and
     all users as partners — Table VI's setting; Fig 7 varies the pruning.
+    Timings and examined fractions are aggregated from the engines'
+    telemetry records (caching is disabled so every query is a real
+    retrieval).
     """
     ctx = ctx or ExperimentContext()
     model = ctx.model("GEM-A")
     candidate_events = np.array(sorted(ctx.split.test_events), dtype=np.int64)
 
-    ta = EventPartnerRecommender(
-        model.user_vectors,
-        model.event_vectors,
-        candidate_events,
-        top_k_events=top_k_events,
-        method="ta",
-    )
-    bf = EventPartnerRecommender(
-        model.user_vectors,
-        model.event_vectors,
-        candidate_events,
-        top_k_events=top_k_events,
-        method="bruteforce",
-    )
+    metrics = MetricsRegistry()
+    engines = {
+        name: ServingEngine(
+            model.user_vectors,
+            model.event_vectors,
+            candidate_events,
+            top_k_events=top_k_events,
+            backend=name,
+            cache_size=0,
+            metrics=metrics,
+        ).warm()
+        for name in ("ta", "bruteforce")
+    }
 
     rng = np.random.default_rng(ctx.eval_seed)
     users = rng.choice(ctx.ebsn.n_users, size=n_queries, replace=False)
+
+    for n in top_n:
+        for engine in engines.values():
+            for u in users:
+                engine.query(int(u), n)
 
     ta_s: dict[int, float] = {}
     bf_s: dict[int, float] = {}
     frac: dict[int, float] = {}
     for n in top_n:
-        t0 = time.perf_counter()
-        fractions = []
-        for u in users:
-            result = ta.query(int(u), n)
-            fractions.append(result.fraction_examined)
-        ta_s[n] = (time.perf_counter() - t0) / n_queries
-        frac[n] = float(np.mean(fractions))
-
-        t0 = time.perf_counter()
-        for u in users:
-            bf.query(int(u), n)
-        bf_s[n] = (time.perf_counter() - t0) / n_queries
+        ta = metrics.summary(backend="ta", n=n)
+        bf = metrics.summary(backend="bruteforce", n=n)
+        ta_s[n] = ta["mean_seconds_total"]
+        bf_s[n] = bf["mean_seconds_total"]
+        frac[n] = ta["mean_fraction_examined"]
 
     return OnlineEfficiencyResult(
         top_n=top_n,
         ta_seconds=ta_s,
         bf_seconds=bf_s,
         ta_fraction_examined=frac,
-        n_candidate_pairs=ta.n_candidate_pairs,
+        n_candidate_pairs=engines["ta"].n_candidate_pairs,
         n_queries=n_queries,
     )
 

@@ -8,8 +8,10 @@ baseline used in Table VI and as a correctness oracle).
 from repro.online.bruteforce import BruteForceIndex
 from repro.online.pruning import build_pruned_pair_space, top_k_events_per_partner
 from repro.online.persistence import (
+    load_engine,
     load_pair_space,
     load_recommender,
+    save_engine,
     save_pair_space,
     save_recommender,
 )
@@ -39,8 +41,10 @@ __all__ = [
     "RetrievalResult",
     "ThresholdAlgorithmIndex",
     "build_pruned_pair_space",
+    "load_engine",
     "load_pair_space",
     "load_recommender",
+    "save_engine",
     "save_pair_space",
     "save_recommender",
     "query_vector",

@@ -24,6 +24,24 @@ class BruteForceIndex:
     def n_candidates(self) -> int:
         return self.space.n_pairs
 
+    def memory_bytes(self) -> int:
+        """Resident bytes: candidate points and the pair-id arrays."""
+        space = self.space
+        return int(
+            space.points.nbytes
+            + space.partner_ids.nbytes
+            + space.event_ids.nbytes
+        )
+
+    def extend(self, space: PairSpace, n_old: int) -> None:
+        """Absorb rows ``[n_old:]`` of ``space`` (no derived state)."""
+        if n_old != self.space.n_pairs:
+            raise ValueError(
+                f"extend expects the first {self.space.n_pairs} rows to be "
+                f"the current candidates, got n_old={n_old}"
+            )
+        self.space = space
+
     def query(
         self,
         user_vector: np.ndarray,
@@ -31,14 +49,27 @@ class BruteForceIndex:
         *,
         exclude_partner: int | None = None,
     ) -> RetrievalResult:
-        """Exact top-n by scoring all candidates."""
+        """Exact top-n by scoring all candidates (wrapper that builds
+        :math:`\\vec q_u` from the raw user vector)."""
+        return self.query_extended(
+            query_vector(user_vector), n, exclude_partner=exclude_partner
+        )
+
+    def query_extended(
+        self,
+        q: np.ndarray,
+        n: int,
+        *,
+        exclude_partner: int | None = None,
+    ) -> RetrievalResult:
+        """Exact top-n for an already-extended query vector."""
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
         space = self.space
-        q = query_vector(user_vector)
-        if q.shape[0] != space.dim:
+        q = np.asarray(q, dtype=np.float64)
+        if q.shape != (space.dim,):
             raise ValueError(
-                f"query dim {q.shape[0]} != candidate dim {space.dim}"
+                f"query dim {q.shape} != candidate dim ({space.dim},)"
             )
         if space.n_pairs == 0:
             return RetrievalResult(
@@ -48,8 +79,62 @@ class BruteForceIndex:
                 n_sorted_accesses=0,
                 fraction_examined=0.0,
             )
-
         scores = space.points @ q
+        return self._top_n_from_scores(scores, n, exclude_partner)
+
+    def query_extended_batch(
+        self,
+        queries: np.ndarray,
+        n: int,
+        *,
+        exclude_partners: np.ndarray | None = None,
+    ) -> list[RetrievalResult]:
+        """Top-n for many extended queries with one matmul.
+
+        The single ``points @ queries.T`` product is where the batch form
+        wins: the candidate matrix is streamed through the CPU caches once
+        for the whole batch instead of once per user.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self.space.dim:
+            raise ValueError(
+                f"queries must be (batch, {self.space.dim}), "
+                f"got {queries.shape}"
+            )
+        if self.space.n_pairs == 0:
+            empty = RetrievalResult(
+                pair_indices=np.empty(0, dtype=np.int64),
+                scores=np.empty(0, dtype=np.float64),
+                n_examined=0,
+                n_sorted_accesses=0,
+                fraction_examined=0.0,
+            )
+            return [empty] * queries.shape[0]
+        # (batch, n_pairs): row-major so each user's score row is
+        # contiguous for the argpartition that follows.
+        all_scores = queries @ self.space.points.T
+        results = []
+        for b in range(queries.shape[0]):
+            exclude = (
+                int(exclude_partners[b])
+                if exclude_partners is not None
+                else None
+            )
+            results.append(
+                self._top_n_from_scores(all_scores[b], n, exclude)
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _top_n_from_scores(
+        self,
+        scores: np.ndarray,
+        n: int,
+        exclude_partner: int | None,
+    ) -> RetrievalResult:
+        space = self.space
         if exclude_partner is not None:
             scores = np.where(
                 space.partner_ids == exclude_partner, -np.inf, scores

@@ -5,8 +5,13 @@ pruning and per-dimension sorted lists are computed ahead of time, the
 query path only reads them.  A deployed service therefore wants to build
 the index once (e.g. nightly, after folding in the day's new events) and
 ship it to serving replicas; these helpers round-trip a
-:class:`PairSpace` — and the recommender built on it — through a single
-``.npz`` file.
+:class:`PairSpace` — and the recommender or serving engine built on it —
+through a single ``.npz`` file.
+
+Every artefact carries the **embedding version** it was materialised
+from (see :attr:`repro.online.transform.PairSpace.version`), so replicas
+can match a shipped index against the embeddings that produced it and
+refuse to mix versions.
 """
 
 from __future__ import annotations
@@ -18,13 +23,15 @@ import numpy as np
 
 from repro.online.recommender import EventPartnerRecommender
 from repro.online.transform import PairSpace
+from repro.serving.engine import ServingEngine
 
 _FORMAT_KEY = "__pair_space_format__"
 _FORMAT_VERSION = 1
+_ENGINE_FORMAT_KEY = "__serving_engine_format__"
 
 
 def save_pair_space(space: PairSpace, path: "str | Path") -> Path:
-    """Serialise a pair space (points + pair identities) to ``.npz``."""
+    """Serialise a pair space (points + pair identities + version)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(
@@ -32,13 +39,17 @@ def save_pair_space(space: PairSpace, path: "str | Path") -> Path:
         points=space.points,
         partner_ids=space.partner_ids,
         event_ids=space.event_ids,
+        embedding_version=np.array([space.version], dtype=np.int64),
         **{_FORMAT_KEY: np.array([_FORMAT_VERSION])},
     )
     return path
 
 
 def load_pair_space(path: "str | Path") -> PairSpace:
-    """Load a pair space written by :func:`save_pair_space`."""
+    """Load a pair space written by :func:`save_pair_space`.
+
+    Files written before the version tag existed load with version 0.
+    """
     with np.load(Path(path)) as data:
         if _FORMAT_KEY not in data.files:
             raise ValueError(f"{path} is not a pair-space file")
@@ -48,40 +59,69 @@ def load_pair_space(path: "str | Path") -> PairSpace:
                 f"unsupported pair-space format {version} "
                 f"(expected {_FORMAT_VERSION})"
             )
+        embedding_version = (
+            int(data["embedding_version"][0])
+            if "embedding_version" in data.files
+            else 0
+        )
         return PairSpace(
             points=data["points"].copy(),
             partner_ids=data["partner_ids"].copy(),
             event_ids=data["event_ids"].copy(),
+            version=embedding_version,
         )
+
+
+def _save_engine_arrays(
+    path: Path, engine: ServingEngine, config: dict, format_key: str
+) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        user_vectors=engine.user_vectors,
+        event_vectors=engine.event_vectors,
+        candidate_events=engine.candidate_events,
+        candidate_partners=engine.candidate_partners,
+        config=np.frombuffer(json.dumps(config).encode("utf-8"), dtype=np.uint8),
+        **{format_key: np.array([_FORMAT_VERSION])},
+    )
+    return path
+
+
+def _load_npz_config(data, required: set[str], path) -> dict:
+    if not required <= set(data.files):
+        raise ValueError(f"{path} is not a recognised index file")
+    config = json.loads(bytes(data["config"].tobytes()).decode("utf-8"))
+    version = config.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported index format {version} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    return config
 
 
 def save_recommender(
     recommender: EventPartnerRecommender, path: "str | Path"
 ) -> Path:
     """Serialise a built recommender (vectors + candidates + config)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     config = {
         "method": recommender.method,
         "top_k_events": recommender.top_k_events,
         "format_version": _FORMAT_VERSION,
+        "embedding_version": recommender.engine.version,
     }
-    np.savez_compressed(
-        path,
-        user_vectors=recommender.user_vectors,
-        event_vectors=recommender.event_vectors,
-        candidate_events=recommender.candidate_events,
-        candidate_partners=recommender.candidate_partners,
-        config=np.frombuffer(json.dumps(config).encode("utf-8"), dtype=np.uint8),
+    return _save_engine_arrays(
+        Path(path), recommender.engine, config, "config_marker"
     )
-    return path
 
 
 def load_recommender(path: "str | Path") -> EventPartnerRecommender:
     """Rebuild a recommender written by :func:`save_recommender`.
 
     The sorted lists are recomputed on load (they are derived data);
-    queries are byte-for-byte identical to the original instance's.
+    queries are byte-for-byte identical to the original instance's, and
+    the embedding version tag is restored.
     """
     with np.load(Path(path)) as data:
         required = {
@@ -91,16 +131,8 @@ def load_recommender(path: "str | Path") -> EventPartnerRecommender:
             "candidate_partners",
             "config",
         }
-        if not required <= set(data.files):
-            raise ValueError(f"{path} is not a recommender file")
-        config = json.loads(bytes(data["config"].tobytes()).decode("utf-8"))
-        version = config.get("format_version")
-        if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported recommender format {version} "
-                f"(expected {_FORMAT_VERSION})"
-            )
-        return EventPartnerRecommender(
+        config = _load_npz_config(data, required, path)
+        recommender = EventPartnerRecommender(
             data["user_vectors"].copy(),
             data["event_vectors"].copy(),
             data["candidate_events"].copy(),
@@ -108,3 +140,59 @@ def load_recommender(path: "str | Path") -> EventPartnerRecommender:
             top_k_events=config["top_k_events"],
             method=config["method"],
         )
+        _restore_version(
+            recommender.engine, config.get("embedding_version", 1)
+        )
+        return recommender
+
+
+def save_engine(engine: ServingEngine, path: "str | Path") -> Path:
+    """Serialise a :class:`ServingEngine` (vectors + candidates + config).
+
+    The index itself is derived data and is rebuilt lazily on load; the
+    embedding version tag survives the round trip so replicas serve the
+    same version the builder produced.
+    """
+    config = {
+        "backend": engine.backend_name,
+        "top_k_events": engine.top_k_events,
+        "cache_size": engine.cache_size,
+        "format_version": _FORMAT_VERSION,
+        "embedding_version": engine.version,
+    }
+    return _save_engine_arrays(Path(path), engine, config, _ENGINE_FORMAT_KEY)
+
+
+def load_engine(path: "str | Path") -> ServingEngine:
+    """Rebuild a serving engine written by :func:`save_engine`.
+
+    The returned engine is *cold* (lazy): the first query rebuilds the
+    index, under the persisted embedding version.
+    """
+    with np.load(Path(path)) as data:
+        required = {
+            "user_vectors",
+            "event_vectors",
+            "candidate_events",
+            "candidate_partners",
+            "config",
+            _ENGINE_FORMAT_KEY,
+        }
+        config = _load_npz_config(data, required, path)
+        engine = ServingEngine(
+            data["user_vectors"].copy(),
+            data["event_vectors"].copy(),
+            data["candidate_events"].copy(),
+            candidate_partners=data["candidate_partners"].copy(),
+            top_k_events=config["top_k_events"],
+            backend=config["backend"],
+            cache_size=config["cache_size"],
+        )
+        _restore_version(engine, config.get("embedding_version", 1))
+        return engine
+
+
+def _restore_version(engine: ServingEngine, version: int) -> None:
+    engine._version = int(version)
+    if engine.is_built:
+        engine.space.version = int(version)

@@ -1,5 +1,14 @@
 """End-to-end online event-partner recommender (Section IV assembled).
 
+.. note::
+   This class is now a thin, backwards-compatible facade over
+   :class:`repro.serving.engine.ServingEngine` — the unified serving
+   stack that owns the 2K+1 transform, pluggable retrieval backends,
+   versioned indices, batched queries, caching and telemetry.  The
+   constructor signature, attributes (``space``, ``index``, ``method``,
+   ``top_k_events``, …) and the :meth:`query`/:meth:`recommend`
+   behaviour are unchanged; new code should use the engine directly.
+
 Offline: take the trained model's event/user vectors, restrict to the
 candidate events (the *new* events — cold-start items are exactly what an
 online system serves) and candidate partners, optionally prune to top-k
@@ -13,25 +22,15 @@ recommending the user as her own partner.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from repro.online.bruteforce import BruteForceIndex
-from repro.online.pruning import build_pruned_pair_space
-from repro.online.ta import RetrievalResult, ThresholdAlgorithmIndex
-from repro.online.transform import PairSpace, transform_all_pairs
+from repro.online.ta import RetrievalResult
+from repro.online.transform import PairSpace
+from repro.serving.engine import Recommendation, ServingEngine
 
 METHODS = ("ta", "bruteforce")
 
-
-@dataclass(slots=True)
-class Recommendation:
-    """One recommended event-partner pair."""
-
-    event: int
-    partner: int
-    score: float
+__all__ = ["METHODS", "EventPartnerRecommender", "Recommendation"]
 
 
 class EventPartnerRecommender:
@@ -65,57 +64,63 @@ class EventPartnerRecommender:
     ):
         if method not in METHODS:
             raise ValueError(f"method must be one of {METHODS}, got {method!r}")
-        self.user_vectors = np.asarray(user_vectors, dtype=np.float64)
-        self.event_vectors = np.asarray(event_vectors, dtype=np.float64)
-        self.candidate_events = np.asarray(candidate_events, dtype=np.int64)
-        if self.candidate_events.size == 0:
-            raise ValueError("candidate_events must be non-empty")
-        if candidate_partners is None:
-            candidate_partners = np.arange(
-                self.user_vectors.shape[0], dtype=np.int64
-            )
-        self.candidate_partners = np.asarray(candidate_partners, dtype=np.int64)
-        self.method = method
-        self.top_k_events = top_k_events
-
-        ev = self.event_vectors[self.candidate_events]
-        pa = self.user_vectors[self.candidate_partners]
-        if top_k_events is not None:
-            self.space: PairSpace = build_pruned_pair_space(
-                ev,
-                pa,
-                top_k_events,
-                event_ids=self.candidate_events,
-                partner_ids=self.candidate_partners,
-            )
-        else:
-            self.space = transform_all_pairs(
-                ev,
-                pa,
-                event_ids=self.candidate_events,
-                partner_ids=self.candidate_partners,
-            )
-        self.index = (
-            ThresholdAlgorithmIndex(self.space)
-            if method == "ta"
-            else BruteForceIndex(self.space)
-        )
+        # The facade keeps the original eager-build semantics: the index
+        # exists (and invalid inputs fail) at construction time.  The
+        # result cache is disabled so `query` timings stay comparable to
+        # the historical behaviour; use ServingEngine directly for
+        # caching and batching.
+        self.engine = ServingEngine(
+            user_vectors,
+            event_vectors,
+            candidate_events,
+            candidate_partners=candidate_partners,
+            top_k_events=top_k_events,
+            backend=method,
+            cache_size=0,
+        ).warm()
 
     # ------------------------------------------------------------------
     @property
+    def user_vectors(self) -> np.ndarray:
+        return self.engine.user_vectors
+
+    @property
+    def event_vectors(self) -> np.ndarray:
+        return self.engine.event_vectors
+
+    @property
+    def candidate_events(self) -> np.ndarray:
+        return self.engine.candidate_events
+
+    @property
+    def candidate_partners(self) -> np.ndarray:
+        return self.engine.candidate_partners
+
+    @property
+    def method(self) -> str:
+        return self.engine.backend_name
+
+    @property
+    def top_k_events(self) -> int | None:
+        return self.engine.top_k_events
+
+    @property
+    def space(self) -> PairSpace:
+        return self.engine.space
+
+    @property
+    def index(self):
+        """The underlying index object (TA or brute-force)."""
+        return self.engine.backend.index
+
+    @property
     def n_candidate_pairs(self) -> int:
-        return self.space.n_pairs
+        return self.engine.n_candidate_pairs
 
     def query(self, user: int, n: int) -> RetrievalResult:
         """Raw retrieval result with access statistics (for benchmarks)."""
-        return self.index.query(
-            self.user_vectors[user], n, exclude_partner=int(user)
-        )
+        return self.engine.query(user, n)
 
     def recommend(self, user: int, n: int = 10) -> list[Recommendation]:
         """Top-n event-partner recommendations for ``user``."""
-        result = self.query(user, n)
-        return [
-            Recommendation(event=e, partner=p, score=s)
-            for e, p, s in result.pairs(self.space)
-        ]
+        return self.engine.recommend(user, n=n)

@@ -62,6 +62,57 @@ class ThresholdAlgorithmIndex:
     def n_candidates(self) -> int:
         return self.space.n_pairs
 
+    def memory_bytes(self) -> int:
+        """Resident bytes: candidate points, ids, and the sorted lists."""
+        space = self.space
+        return int(
+            space.points.nbytes
+            + space.partner_ids.nbytes
+            + space.event_ids.nbytes
+            + self.sorted_lists.nbytes
+        )
+
+    def extend(self, space: PairSpace, n_old: int) -> None:
+        """Incrementally absorb rows ``[n_old:]`` of ``space``.
+
+        ``space`` must contain this index's current candidates, unchanged
+        and in order, as its first ``n_old`` rows.  The per-dimension
+        sorted lists are *merged* — the new block is argsorted on its own
+        (O(m log m) per dimension) and spliced into the existing lists
+        with a stable two-way merge (O((n+m)) via ``searchsorted``) —
+        instead of re-sorting the whole space, which is what makes a
+        fold-in refresh cheaper than a cold rebuild.
+        """
+        if n_old != self.space.n_pairs:
+            raise ValueError(
+                f"extend expects the first {self.space.n_pairs} rows to be "
+                f"the current candidates, got n_old={n_old}"
+            )
+        n_new = space.n_pairs - n_old
+        if n_new < 0:
+            raise ValueError("extended space is smaller than the current one")
+        if n_new == 0:
+            self.space = space
+            return
+        points = space.points
+        old_lists = self.sorted_lists
+        new_lists = (
+            np.argsort(-points[n_old:], axis=0, kind="stable") + n_old
+        )
+        merged = np.empty((space.n_pairs, space.dim), dtype=np.int64)
+        for f in range(space.dim):
+            a = old_lists[:, f]
+            b = new_lists[:, f]
+            av = -points[a, f]  # ascending views of the descending lists
+            bv = -points[b, f]
+            # Stable merge: old entries precede equal-valued new ones.
+            pos_b = np.searchsorted(av, bv, side="right") + np.arange(n_new)
+            pos_a = np.searchsorted(bv, av, side="left") + np.arange(n_old)
+            merged[pos_a, f] = a
+            merged[pos_b, f] = b
+        self.space = space
+        self.sorted_lists = merged
+
     # ------------------------------------------------------------------
     def query(
         self,
@@ -72,6 +123,27 @@ class ThresholdAlgorithmIndex:
         chunk: int = 64,
     ) -> RetrievalResult:
         """Exact top-n retrieval for one user (Fagin's TA).
+
+        Convenience wrapper: builds the extended query
+        :math:`\\vec q_u = (\\vec u, \\vec u, 1)` and delegates to
+        :meth:`query_extended`.
+        """
+        return self.query_extended(
+            query_vector(user_vector),
+            n,
+            exclude_partner=exclude_partner,
+            chunk=chunk,
+        )
+
+    def query_extended(
+        self,
+        q: np.ndarray,
+        n: int,
+        *,
+        exclude_partner: int | None = None,
+        chunk: int = 64,
+    ) -> RetrievalResult:
+        """Exact top-n retrieval for an already-extended query vector.
 
         Sorted access is *greedily scheduled*: each round advances the list
         whose frontier contributes most to the threshold (``q_f · z_f``),
@@ -89,21 +161,39 @@ class ThresholdAlgorithmIndex:
         if chunk < 1:
             raise ValueError(f"chunk must be >= 1, got {chunk}")
         space = self.space
-        q = query_vector(user_vector)
-        if q.shape[0] != space.dim:
+        q = np.asarray(q, dtype=np.float64)
+        if q.shape != (space.dim,):
             raise ValueError(
-                f"query dim {q.shape[0]} != candidate dim {space.dim}"
+                f"query dim {q.shape} != candidate dim ({space.dim},)"
             )
 
         active_dims = np.flatnonzero(q > 0.0)
         n_cand = space.n_pairs
-        if n_cand == 0 or active_dims.size == 0:
+        if n_cand == 0:
             return RetrievalResult(
                 pair_indices=np.empty(0, dtype=np.int64),
                 scores=np.empty(0, dtype=np.float64),
                 n_examined=0,
                 n_sorted_accesses=0,
                 fraction_examined=0.0,
+            )
+        if active_dims.size == 0:
+            # Degenerate query (no positive weight anywhere, e.g. an
+            # all-zero vector): every candidate scores q·p identically, so
+            # any eligible prefix is an exact top-n — matching what the
+            # brute-force oracle returns for the same tie.
+            eligible = (
+                np.flatnonzero(space.partner_ids != exclude_partner)
+                if exclude_partner is not None
+                else np.arange(n_cand, dtype=np.int64)
+            )
+            take = eligible[: min(n, eligible.size)].astype(np.int64)
+            return RetrievalResult(
+                pair_indices=take,
+                scores=space.points[take] @ q,
+                n_examined=int(take.size),
+                n_sorted_accesses=0,
+                fraction_examined=take.size / n_cand,
             )
 
         points = space.points

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.online.recommender import EventPartnerRecommender, Recommendation
+from repro.serving.engine import Recommendation, ServingEngine
 
 
 def _top_n(ids: np.ndarray, scores: np.ndarray, n: int) -> list[tuple[int, float]]:
@@ -106,14 +106,16 @@ def recommend_joint(
 ) -> list[Recommendation]:
     """The paper's joint event-partner task (convenience one-shot form).
 
-    For repeated queries construct :class:`EventPartnerRecommender` once
-    and reuse its offline index.
+    For repeated queries construct a
+    :class:`repro.serving.engine.ServingEngine` once and reuse its
+    offline index (this wrapper builds a throwaway one per call).
     """
-    recommender = EventPartnerRecommender(
+    engine = ServingEngine(
         user_vectors,
         event_vectors,
         np.asarray(candidate_events, dtype=np.int64),
         top_k_events=top_k_events,
-        method=method,
+        backend=method,
+        cache_size=0,
     )
-    return recommender.recommend(user, n=n)
+    return engine.recommend(user, n=n)

@@ -32,11 +32,18 @@ class PairSpace:
         ``(n_pairs, 2K+1)`` transformed pair vectors :math:`\\vec p_{xu'}`.
     partner_ids, event_ids:
         ``(n_pairs,)`` the pair each point represents.
+    version:
+        Embedding version this space was materialised from.  0 means
+        "unversioned" (spaces built outside a serving engine); the
+        :class:`~repro.serving.engine.ServingEngine` stamps its own
+        monotonically increasing version so persisted indices and cached
+        results can be matched to the embeddings that produced them.
     """
 
     points: np.ndarray
     partner_ids: np.ndarray
     event_ids: np.ndarray
+    version: int = 0
 
     def __post_init__(self) -> None:
         if self.points.ndim != 2:

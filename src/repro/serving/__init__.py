@@ -1,0 +1,43 @@
+"""Unified serving engine for fast online recommendation (Section IV).
+
+One interface over the space transformation, pruning, retrieval
+backends, incremental refresh, batching, caching, and query telemetry:
+
+>>> from repro.serving import ServingEngine
+>>> engine = ServingEngine(U, E, candidate_events, backend="ta")
+>>> recs = engine.recommend_batch([3, 14, 15], n=10)
+>>> engine.metrics.summary()["mean_seconds_total"]
+
+The legacy :class:`repro.online.EventPartnerRecommender` and
+``repro.online.tasks`` APIs remain as thin facades over this engine.
+"""
+
+from repro.serving.backends import (
+    BruteForceBackend,
+    RetrievalBackend,
+    ThresholdAlgorithmBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from repro.serving.engine import (
+    DEFAULT_PRUNED_FRACTION,
+    Recommendation,
+    ServingEngine,
+)
+from repro.serving.telemetry import BuildStats, MetricsRegistry, QueryStats
+
+__all__ = [
+    "BruteForceBackend",
+    "BuildStats",
+    "DEFAULT_PRUNED_FRACTION",
+    "MetricsRegistry",
+    "QueryStats",
+    "Recommendation",
+    "RetrievalBackend",
+    "ServingEngine",
+    "ThresholdAlgorithmBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+]

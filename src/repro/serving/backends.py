@@ -1,0 +1,185 @@
+"""Pluggable retrieval backends for the serving engine.
+
+The paper's Section IV offers two ways to answer a top-n query over the
+transformed 2K+1 pair space — a brute-force scan (GEM-BF) and the
+TA-based exact retrieval (GEM-TA) — and the codebase previously exposed
+them as two parallel index classes with ad-hoc call sites.  Here they
+become implementations of one :class:`RetrievalBackend` contract,
+registered by name, so the :class:`~repro.serving.engine.ServingEngine`
+(and any future backend: sharded, approximate, GPU) is selected by
+configuration instead of by divergent code paths.
+
+A backend's lifecycle::
+
+    backend = create_backend("ta")
+    backend.build(space)                      # offline
+    result = backend.query(q, n, exclude=u)   # online, q = (u, u, 1)
+
+``"ta-pruned"`` / ``"bruteforce-pruned"`` are the same retrieval
+algorithms but request the engine's per-partner top-k event pruning by
+default (Fig 7's operating point) when the caller did not choose a k.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.online.bruteforce import BruteForceIndex
+from repro.online.ta import RetrievalResult, ThresholdAlgorithmIndex
+from repro.online.transform import PairSpace
+
+
+@runtime_checkable
+class RetrievalBackend(Protocol):
+    """The contract every serving backend implements.
+
+    ``query`` takes the *extended* query vector :math:`\\vec q_u =
+    (\\vec u, \\vec u, 1)` — the engine owns the transformation — and
+    returns a :class:`~repro.online.ta.RetrievalResult` carrying the
+    access statistics the telemetry layer records.
+    """
+
+    name: str
+    #: Whether the engine should apply per-partner top-k pruning when the
+    #: caller did not specify a pruning level.
+    prunes_by_default: bool
+
+    def build(self, space: PairSpace) -> None:
+        """Construct the index over a transformed pair space (offline)."""
+        ...
+
+    def query(
+        self, q: np.ndarray, n: int, exclude: int | None = None
+    ) -> RetrievalResult:
+        """Exact top-n for one extended query (online)."""
+        ...
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of the built index (0 if not built)."""
+        ...
+
+
+_REGISTRY: dict[str, Callable[[], "RetrievalBackend"]] = {}
+
+
+def register_backend(name: str):
+    """Class decorator: make ``name`` constructible via :func:`create_backend`."""
+
+    def wrap(cls):
+        if name in _REGISTRY:
+            raise ValueError(f"backend {name!r} is already registered")
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return wrap
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_backend(name: str) -> "RetrievalBackend":
+    """Instantiate a registered backend by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown retrieval backend {name!r}; "
+            f"available: {available_backends()}"
+        ) from None
+    return factory()
+
+
+class _IndexBackend:
+    """Shared plumbing: wrap one of the ``repro.online`` index classes."""
+
+    prunes_by_default = False
+    _not_built = "backend not built; call build(space) first"
+
+    def __init__(self) -> None:
+        self.index = None
+
+    @property
+    def space(self) -> PairSpace:
+        if self.index is None:
+            raise RuntimeError(self._not_built)
+        return self.index.space
+
+    @property
+    def n_candidates(self) -> int:
+        return 0 if self.index is None else self.index.n_candidates
+
+    def memory_bytes(self) -> int:
+        return 0 if self.index is None else self.index.memory_bytes()
+
+    def extend(self, space: PairSpace, n_old: int) -> None:
+        """Incrementally absorb the rows ``space.points[n_old:]``."""
+        if self.index is None:
+            raise RuntimeError(self._not_built)
+        self.index.extend(space, n_old)
+
+    def query(
+        self, q: np.ndarray, n: int, exclude: int | None = None
+    ) -> RetrievalResult:
+        if self.index is None:
+            raise RuntimeError(self._not_built)
+        return self.index.query_extended(q, n, exclude_partner=exclude)
+
+
+@register_backend("bruteforce")
+class BruteForceBackend(_IndexBackend):
+    """Full-scan retrieval (GEM-BF); supports one-matmul batch queries."""
+
+    def build(self, space: PairSpace) -> None:
+        self.index = BruteForceIndex(space)
+
+    def query_batch(
+        self,
+        queries: np.ndarray,
+        n: int,
+        excludes: np.ndarray | None = None,
+    ) -> list[RetrievalResult]:
+        if self.index is None:
+            raise RuntimeError(self._not_built)
+        return self.index.query_extended_batch(
+            queries, n, exclude_partners=excludes
+        )
+
+
+@register_backend("ta")
+class ThresholdAlgorithmBackend(_IndexBackend):
+    """Fagin's TA over per-dimension sorted lists (GEM-TA)."""
+
+    def __init__(self, chunk: int = 64) -> None:
+        super().__init__()
+        self.chunk = chunk
+
+    def build(self, space: PairSpace) -> None:
+        self.index = ThresholdAlgorithmIndex(space)
+
+    def query(
+        self, q: np.ndarray, n: int, exclude: int | None = None
+    ) -> RetrievalResult:
+        if self.index is None:
+            raise RuntimeError(self._not_built)
+        return self.index.query_extended(
+            q, n, exclude_partner=exclude, chunk=self.chunk
+        )
+
+
+@register_backend("bruteforce-pruned")
+class PrunedBruteForceBackend(BruteForceBackend):
+    """Brute force over a pruned space (engine picks a default k)."""
+
+    prunes_by_default = True
+
+
+@register_backend("ta-pruned")
+class PrunedThresholdAlgorithmBackend(ThresholdAlgorithmBackend):
+    """TA over a pruned space (engine picks a default k)."""
+
+    prunes_by_default = True

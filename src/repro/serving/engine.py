@@ -1,0 +1,478 @@
+"""The unified serving engine for joint event-partner recommendation.
+
+This is the production substrate for the paper's Section IV: one object
+that owns the offline side (the 2K+1 space transformation, optional
+per-partner top-k pruning, index construction) and the online side
+(single and batched top-n queries, result caching, telemetry), behind a
+pluggable :class:`~repro.serving.backends.RetrievalBackend`.
+
+Compared with the original ``EventPartnerRecommender`` (now a thin
+facade over this class) the engine adds:
+
+* **lazy, versioned builds** — the index is materialised on first use
+  and stamped with a monotonically increasing *embedding version*;
+* **incremental refresh** — :meth:`refresh` folds new events (e.g. from
+  :class:`repro.core.fold_in.EventFoldIn`) into the candidate space by
+  transforming only the new pairs and merging them into the existing
+  index, instead of a cold rebuild;
+* **batched queries** — :meth:`recommend_batch` vectorises query-vector
+  construction and, where the backend supports it, answers the whole
+  batch with one pass over the candidate matrix;
+* **caching + telemetry** — an LRU result cache keyed on
+  ``(version, user, n)`` and per-query :class:`QueryStats` records in a
+  :class:`MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.online.pruning import build_pruned_pair_space
+from repro.online.ta import RetrievalResult
+from repro.online.transform import (
+    PairSpace,
+    query_vector,
+    transform_all_pairs,
+)
+from repro.serving.backends import RetrievalBackend, create_backend
+from repro.serving.telemetry import (
+    BuildStats,
+    MetricsRegistry,
+    QueryStats,
+    _Timer,
+)
+
+#: Default pruning level for ``*-pruned`` backends when the caller does
+#: not pick k: 5% of the candidate events, Fig 7's sweet spot (the
+#: approximation ratio is ≈1 from there on).
+DEFAULT_PRUNED_FRACTION = 0.05
+
+
+@dataclass(slots=True)
+class Recommendation:
+    """One recommended event-partner pair."""
+
+    event: int
+    partner: int
+    score: float
+
+
+class ServingEngine:
+    """Versioned, cached, batch-capable joint recommendation service.
+
+    Parameters
+    ----------
+    user_vectors, event_vectors:
+        The trained embedding matrices (GEM or any latent-factor model).
+    candidate_events:
+        Global event ids eligible for recommendation.
+    candidate_partners:
+        Global user ids eligible as partners (default: everyone).
+    top_k_events:
+        Pruning level k (``None`` = no pruning unless the backend is a
+        ``*-pruned`` variant, which defaults to 5% of the events).
+    backend:
+        Registered backend name (see
+        :func:`repro.serving.backends.available_backends`).
+    cache_size:
+        Maximum entries in the LRU result cache (0 disables caching).
+    metrics:
+        A shared :class:`MetricsRegistry`; a private one is created when
+        omitted.
+    """
+
+    def __init__(
+        self,
+        user_vectors: np.ndarray,
+        event_vectors: np.ndarray,
+        candidate_events: np.ndarray,
+        *,
+        candidate_partners: np.ndarray | None = None,
+        top_k_events: int | None = None,
+        backend: str = "ta",
+        cache_size: int = 256,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.user_vectors = np.asarray(user_vectors, dtype=np.float64)
+        self.event_vectors = np.asarray(event_vectors, dtype=np.float64)
+        self.candidate_events = np.asarray(candidate_events, dtype=np.int64)
+        if self.candidate_events.size == 0:
+            raise ValueError("candidate_events must be non-empty")
+        if candidate_partners is None:
+            candidate_partners = np.arange(
+                self.user_vectors.shape[0], dtype=np.int64
+            )
+        self.candidate_partners = np.asarray(
+            candidate_partners, dtype=np.int64
+        )
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self.backend_name = backend
+        self._backend: RetrievalBackend = create_backend(backend)
+        self.top_k_events = top_k_events
+        self.cache_size = cache_size
+        # `is not None` matters: an empty registry is falsy via __len__.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.build_stats = BuildStats()
+        self._version = 1
+        self._space: PairSpace | None = None
+        self._cache: OrderedDict[tuple, RetrievalResult] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # introspection
+    @property
+    def version(self) -> int:
+        """The embedding version currently served."""
+        return self._version
+
+    @property
+    def n_users(self) -> int:
+        return int(self.user_vectors.shape[0])
+
+    @property
+    def n_events(self) -> int:
+        return int(self.event_vectors.shape[0])
+
+    @property
+    def is_built(self) -> bool:
+        return self._space is not None
+
+    @property
+    def space(self) -> PairSpace:
+        """The transformed pair space (building it if necessary)."""
+        self.warm()
+        assert self._space is not None
+        return self._space
+
+    @property
+    def backend(self) -> RetrievalBackend:
+        """The built retrieval backend (building it if necessary)."""
+        self.warm()
+        return self._backend
+
+    @property
+    def n_candidate_pairs(self) -> int:
+        return self.space.n_pairs
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of the built index (0 before first build)."""
+        return self._backend.memory_bytes()
+
+    def cache_info(self) -> dict:
+        return {"size": len(self._cache), "max_size": self.cache_size}
+
+    # ------------------------------------------------------------------
+    # offline: build / refresh
+    def _effective_top_k(self) -> int | None:
+        if self.top_k_events is not None:
+            return self.top_k_events
+        if getattr(self._backend, "prunes_by_default", False):
+            return max(
+                1,
+                int(round(DEFAULT_PRUNED_FRACTION * self.candidate_events.size)),
+            )
+        return None
+
+    def warm(self) -> "ServingEngine":
+        """Build the index now (otherwise it happens on first query)."""
+        if self._space is None:
+            self._build()
+        return self
+
+    def _build(self) -> None:
+        ev = self.event_vectors[self.candidate_events]
+        pa = self.user_vectors[self.candidate_partners]
+        k = self._effective_top_k()
+        with _Timer() as t:
+            if k is not None:
+                space = build_pruned_pair_space(
+                    ev,
+                    pa,
+                    k,
+                    event_ids=self.candidate_events,
+                    partner_ids=self.candidate_partners,
+                )
+            else:
+                space = transform_all_pairs(
+                    ev,
+                    pa,
+                    event_ids=self.candidate_events,
+                    partner_ids=self.candidate_partners,
+                )
+            space.version = self._version
+            self._backend.build(space)
+        self._space = space
+        self.build_stats.n_full_builds += 1
+        self.build_stats.n_pairs_transformed += space.n_pairs
+        self.build_stats.seconds_building += t.seconds
+
+    def rebuild(self) -> None:
+        """Cold rebuild under a new version (reapplies pruning)."""
+        self._version += 1
+        self._cache.clear()
+        self._build()
+
+    def refresh(
+        self,
+        new_event_ids: np.ndarray,
+        new_event_vectors: np.ndarray | None = None,
+    ) -> int:
+        """Fold new events into the served candidate space incrementally.
+
+        ``new_event_ids`` are global event ids; pass ``new_event_vectors``
+        (``(len(ids), K)``, e.g. from
+        :meth:`repro.core.fold_in.EventFoldIn.fold_in_many`) when the ids
+        extend the embedding matrix — they must then be exactly the row
+        indices being appended.  Ids already served are skipped.
+
+        Only the *new* (event × partner) pairs are transformed and the
+        backend absorbs them via its incremental ``extend`` path — the
+        pre-existing pair rows are not recomputed (pruned engines keep
+        all pairs of a fresh event until the next :meth:`rebuild`, since
+        cold-start events are exactly what the online system must not
+        prune away).  Bumps the served version and invalidates the cache.
+        Returns the number of events actually added.
+        """
+        new_event_ids = np.atleast_1d(
+            np.asarray(new_event_ids, dtype=np.int64)
+        )
+        if new_event_vectors is not None:
+            new_event_vectors = np.asarray(
+                new_event_vectors, dtype=np.float64
+            )
+            if new_event_vectors.ndim != 2 or new_event_vectors.shape[0] != new_event_ids.size:
+                raise ValueError(
+                    "new_event_vectors must be (len(new_event_ids), K), "
+                    f"got {new_event_vectors.shape}"
+                )
+            if new_event_vectors.shape[1] != self.event_vectors.shape[1]:
+                raise ValueError(
+                    f"new event vectors have dim "
+                    f"{new_event_vectors.shape[1]}, expected "
+                    f"{self.event_vectors.shape[1]}"
+                )
+            expected = np.arange(
+                self.n_events,
+                self.n_events + new_event_ids.size,
+                dtype=np.int64,
+            )
+            if not np.array_equal(np.sort(new_event_ids), expected):
+                raise ValueError(
+                    "new_event_ids must be exactly the appended embedding "
+                    f"rows {expected[0]}..{expected[-1]}"
+                )
+            order = np.argsort(new_event_ids)
+            self.event_vectors = np.vstack(
+                [self.event_vectors, new_event_vectors[order]]
+            )
+        elif new_event_ids.size and new_event_ids.max() >= self.n_events:
+            raise ValueError(
+                f"event id {int(new_event_ids.max())} is outside the "
+                f"embedding matrix ({self.n_events} events); pass "
+                "new_event_vectors to extend it"
+            )
+
+        fresh = new_event_ids[
+            ~np.isin(new_event_ids, self.candidate_events)
+        ]
+        if fresh.size == 0:
+            return 0
+
+        self._version += 1
+        self._cache.clear()
+        if self._space is None:
+            # Not built yet: the (lazy) first build will cover everything.
+            self.candidate_events = np.concatenate(
+                [self.candidate_events, fresh]
+            )
+            return int(fresh.size)
+
+        with _Timer() as t:
+            block = transform_all_pairs(
+                self.event_vectors[fresh],
+                self.user_vectors[self.candidate_partners],
+                event_ids=fresh,
+                partner_ids=self.candidate_partners,
+            )
+            old = self._space
+            combined = PairSpace(
+                points=np.concatenate([old.points, block.points]),
+                partner_ids=np.concatenate(
+                    [old.partner_ids, block.partner_ids]
+                ),
+                event_ids=np.concatenate([old.event_ids, block.event_ids]),
+                version=self._version,
+            )
+            if hasattr(self._backend, "extend"):
+                self._backend.extend(combined, old.n_pairs)
+            else:
+                self._backend.build(combined)
+        self._space = combined
+        self.candidate_events = np.concatenate(
+            [self.candidate_events, fresh]
+        )
+        self.build_stats.n_incremental_refreshes += 1
+        self.build_stats.n_pairs_transformed += block.n_pairs
+        self.build_stats.seconds_building += t.seconds
+        return int(fresh.size)
+
+    # ------------------------------------------------------------------
+    # online: queries
+    def _validate_user(self, user: int) -> int:
+        user = int(user)
+        if not 0 <= user < self.n_users:
+            raise ValueError(
+                f"user {user} is out of range for user_vectors with "
+                f"{self.n_users} rows"
+            )
+        return user
+
+    def _record(self, stats: QueryStats) -> None:
+        self.metrics.record(stats)
+
+    def _cache_get(self, key: tuple) -> RetrievalResult | None:
+        if self.cache_size == 0:
+            return None
+        result = self._cache.get(key)
+        if result is not None:
+            self._cache.move_to_end(key)
+        return result
+
+    def _cache_put(self, key: tuple, result: RetrievalResult) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def query(self, user: int, n: int) -> RetrievalResult:
+        """Raw retrieval result with access statistics."""
+        user = self._validate_user(user)
+        self.warm()
+        key = (self._version, user, int(n))
+        with _Timer() as total:
+            cached = self._cache_get(key)
+            if cached is not None:
+                result = cached
+                t_q = t_r = 0.0
+            else:
+                with _Timer() as tq:
+                    q = query_vector(self.user_vectors[user])
+                with _Timer() as tr:
+                    result = self._backend.query(q, n, exclude=user)
+                t_q, t_r = tq.seconds, tr.seconds
+                self._cache_put(key, result)
+        self._record(
+            QueryStats(
+                user=user,
+                n=int(n),
+                backend=self.backend_name,
+                version=self._version,
+                n_candidates=self._space.n_pairs,
+                n_examined=0 if cached is not None else result.n_examined,
+                n_sorted_accesses=(
+                    0 if cached is not None else result.n_sorted_accesses
+                ),
+                fraction_examined=(
+                    0.0 if cached is not None else result.fraction_examined
+                ),
+                seconds_total=total.seconds,
+                seconds_query_vector=t_q,
+                seconds_retrieval=t_r,
+                cache_hit=cached is not None,
+            )
+        )
+        return result
+
+    def recommend(self, user: int, n: int = 10) -> list[Recommendation]:
+        """Top-n event-partner recommendations for ``user``."""
+        result = self.query(user, n)
+        return self._decode(result)
+
+    def recommend_batch(
+        self, users: np.ndarray, n: int = 10
+    ) -> list[list[Recommendation]]:
+        """Top-n recommendations for many users in one engine pass.
+
+        Query vectors for all cache misses are built with one vectorised
+        concatenation, and backends exposing ``query_batch`` (brute
+        force) answer the whole batch with a single candidate-matrix
+        product.  Results are identical to calling :meth:`recommend` per
+        user.
+        """
+        users = [self._validate_user(u) for u in np.atleast_1d(np.asarray(users))]
+        self.warm()
+        n = int(n)
+        results: dict[int, RetrievalResult] = {}
+        hit_flags: dict[int, bool] = {}
+        misses: list[int] = []
+        with _Timer() as total:
+            pending: set[int] = set()
+            for u in users:
+                cached = self._cache_get((self._version, u, n))
+                if cached is not None:
+                    results[u] = cached
+                    hit_flags[u] = True
+                elif u not in pending:
+                    pending.add(u)
+                    misses.append(u)
+            t_q = t_r = 0.0
+            if misses:
+                miss_arr = np.array(misses, dtype=np.int64)
+                with _Timer() as tq:
+                    uv = self.user_vectors[miss_arr]
+                    queries = np.concatenate(
+                        [uv, uv, np.ones((uv.shape[0], 1))], axis=1
+                    )
+                with _Timer() as tr:
+                    if hasattr(self._backend, "query_batch"):
+                        batch = self._backend.query_batch(
+                            queries, n, excludes=miss_arr
+                        )
+                    else:
+                        batch = [
+                            self._backend.query(queries[i], n, exclude=u)
+                            for i, u in enumerate(misses)
+                        ]
+                t_q, t_r = tq.seconds, tr.seconds
+                for u, result in zip(misses, batch):
+                    results[u] = result
+                    hit_flags[u] = False
+                    self._cache_put((self._version, u, n), result)
+        # Amortise the batch wall-clock evenly across the recorded queries.
+        per_query = total.seconds / max(len(users), 1)
+        per_q = t_q / max(len(misses), 1)
+        per_r = t_r / max(len(misses), 1)
+        for u in users:
+            hit = hit_flags[u]
+            result = results[u]
+            self._record(
+                QueryStats(
+                    user=u,
+                    n=n,
+                    backend=self.backend_name,
+                    version=self._version,
+                    n_candidates=self._space.n_pairs,
+                    n_examined=0 if hit else result.n_examined,
+                    n_sorted_accesses=0 if hit else result.n_sorted_accesses,
+                    fraction_examined=0.0 if hit else result.fraction_examined,
+                    seconds_total=per_query,
+                    seconds_query_vector=0.0 if hit else per_q,
+                    seconds_retrieval=0.0 if hit else per_r,
+                    cache_hit=hit,
+                    batched=True,
+                )
+            )
+        return [self._decode(results[u]) for u in users]
+
+    # ------------------------------------------------------------------
+    def _decode(self, result: RetrievalResult) -> list[Recommendation]:
+        space = self._space
+        return [
+            Recommendation(event=e, partner=p, score=s)
+            for e, p, s in result.pairs(space)
+        ]

@@ -1,0 +1,159 @@
+"""Query telemetry for the serving engine.
+
+Every retrieval the :class:`~repro.serving.engine.ServingEngine` answers
+produces one :class:`QueryStats` record — the access counts the paper's
+efficiency study reports (pairs examined, sorted accesses) plus the
+wall-clock split into query-vector construction and index retrieval, the
+embedding version served, and whether the answer came from the result
+cache.  A :class:`MetricsRegistry` collects the records and aggregates
+them, so experiment runners (Table VI, Fig 7, the HeteRS latency bench)
+read their numbers from one instrumented source instead of hand-rolled
+``time.perf_counter`` loops.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, fields
+
+
+@dataclass(slots=True)
+class QueryStats:
+    """Telemetry for a single served query."""
+
+    user: int
+    n: int
+    backend: str
+    version: int
+    n_candidates: int
+    n_examined: int
+    n_sorted_accesses: int
+    fraction_examined: float
+    seconds_total: float
+    seconds_query_vector: float = 0.0
+    seconds_retrieval: float = 0.0
+    cache_hit: bool = False
+    batched: bool = False
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for logging / serialisation)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(slots=True)
+class BuildStats:
+    """Counters for index construction and incremental maintenance.
+
+    ``n_pairs_transformed`` counts every pair run through the 2K+1 space
+    transformation since the engine was created; a refresh that re-used
+    the existing rows only adds the *new* pairs, which is how the tests
+    verify refreshes are incremental rather than cold rebuilds.
+    """
+
+    n_full_builds: int = 0
+    n_incremental_refreshes: int = 0
+    n_pairs_transformed: int = 0
+    seconds_building: float = 0.0
+
+
+class _Timer:
+    """Tiny context-manager stopwatch: ``with _Timer() as t: ...; t.seconds``."""
+
+    __slots__ = ("seconds", "_start")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+class MetricsRegistry:
+    """Accumulates :class:`QueryStats` and answers aggregate questions.
+
+    Thread-safe for concurrent ``record`` calls (the engine may later be
+    driven from multiple workers); aggregation filters let one registry
+    serve an experiment that interleaves backends and top-n values:
+
+    >>> registry.summary(backend="ta", n=10)["mean_seconds_total"]
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[QueryStats] = []
+
+    # ------------------------------------------------------------------
+    def record(self, stats: QueryStats) -> None:
+        with self._lock:
+            self._records.append(stats)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    @property
+    def records(self) -> list[QueryStats]:
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # ------------------------------------------------------------------
+    def select(self, **criteria) -> list[QueryStats]:
+        """Records whose fields match every ``criteria`` item exactly."""
+        return [
+            r
+            for r in self.records
+            if all(getattr(r, k) == v for k, v in criteria.items())
+        ]
+
+    def summary(self, **criteria) -> dict:
+        """Aggregate statistics over the matching records.
+
+        Keys: ``n_queries``, ``n_cache_hits``, ``cache_hit_rate``,
+        ``total_seconds``, ``mean_seconds_total``, ``mean_seconds_retrieval``,
+        ``mean_fraction_examined``, ``mean_n_examined``,
+        ``total_n_examined``, ``total_sorted_accesses``.
+        """
+        records = self.select(**criteria)
+        n = len(records)
+        if n == 0:
+            return {
+                "n_queries": 0,
+                "n_cache_hits": 0,
+                "cache_hit_rate": 0.0,
+                "total_seconds": 0.0,
+                "mean_seconds_total": 0.0,
+                "mean_seconds_retrieval": 0.0,
+                "mean_fraction_examined": 0.0,
+                "mean_n_examined": 0.0,
+                "total_n_examined": 0,
+                "total_sorted_accesses": 0,
+            }
+        hits = sum(1 for r in records if r.cache_hit)
+        return {
+            "n_queries": n,
+            "n_cache_hits": hits,
+            "cache_hit_rate": hits / n,
+            "total_seconds": sum(r.seconds_total for r in records),
+            "mean_seconds_total": sum(r.seconds_total for r in records) / n,
+            "mean_seconds_retrieval": (
+                sum(r.seconds_retrieval for r in records) / n
+            ),
+            "mean_fraction_examined": (
+                sum(r.fraction_examined for r in records) / n
+            ),
+            "mean_n_examined": sum(r.n_examined for r in records) / n,
+            "total_n_examined": sum(r.n_examined for r in records),
+            "total_sorted_accesses": sum(
+                r.n_sorted_accesses for r in records
+            ),
+        }

@@ -102,3 +102,50 @@ class TestFoldIn:
             s_folded = users @ folded_vec
             agreements.append(np.corrcoef(s_trained, s_folded)[0, 1])
         assert np.nanmean(agreements) > 0.3
+
+
+class TestFoldIntoEngine:
+    def test_folds_and_serves_incrementally(
+        self, trained, tiny_ebsn, tiny_split
+    ):
+        from repro.serving import ServingEngine
+
+        model, fold = trained
+        candidate_events = np.array(
+            sorted(tiny_split.test_events), dtype=np.int64
+        )
+        engine = ServingEngine(
+            model.user_vectors,
+            model.event_vectors,
+            candidate_events,
+            backend="ta",
+        ).warm()
+        n_events_before = engine.n_events
+        version_before = engine.version
+
+        arrivals = [describe(tiny_ebsn, 0), describe(tiny_ebsn, 1)]
+        new_ids = fold.fold_into_engine(
+            engine, arrivals, FoldInConfig(n_steps=50)
+        )
+
+        assert new_ids.tolist() == [n_events_before, n_events_before + 1]
+        assert engine.version == version_before + 1
+        # Incremental: the original build is the only full build.
+        assert engine.build_stats.n_full_builds == 1
+        assert engine.build_stats.n_incremental_refreshes == 1
+        assert set(new_ids.tolist()) <= set(engine.candidate_events.tolist())
+        assert set(new_ids.tolist()) <= set(engine.space.event_ids.tolist())
+        assert len(engine.recommend(0, n=5)) == 5
+
+    def test_no_arrivals_is_a_no_op(self, trained):
+        from repro.serving import ServingEngine
+
+        model, fold = trained
+        engine = ServingEngine(
+            model.user_vectors,
+            model.event_vectors,
+            np.arange(3, dtype=np.int64),
+        )
+        ids = fold.fold_into_engine(engine, [])
+        assert ids.size == 0
+        assert not engine.is_built

@@ -149,6 +149,79 @@ class TestThresholdAlgorithm:
         )
 
 
+class TestTaBruteForceParity:
+    """Property-style checks that TA's exact top-n matches the oracle,
+    including the degenerate corners a serving layer actually hits."""
+
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=30, deadline=None)
+    def test_parity_across_seeds_including_overlong_n(self, seed):
+        rng = np.random.default_rng(seed)
+        E, U = random_vectors(
+            rng,
+            n_events=int(rng.integers(1, 12)),
+            n_partners=int(rng.integers(2, 15)),
+            k=int(rng.integers(2, 6)),
+        )
+        space = transform_all_pairs(E, U)
+        user = int(rng.integers(0, U.shape[0]))
+        exclude = user if rng.random() < 0.5 else None
+        # Deliberately spans n > n_candidates.
+        n = int(rng.integers(1, 2 * space.n_pairs + 2))
+        rt = ThresholdAlgorithmIndex(space).query(
+            U[user], n, exclude_partner=exclude
+        )
+        rb = BruteForceIndex(space).query(U[user], n, exclude_partner=exclude)
+        assert rt.scores.shape == rb.scores.shape
+        np.testing.assert_allclose(
+            np.sort(rt.scores), np.sort(rb.scores), rtol=1e-9, atol=1e-12
+        )
+        if exclude is not None:
+            assert not np.any(space.partner_ids[rt.pair_indices] == exclude)
+
+    def test_n_exceeding_candidates_returns_everything(self, rng):
+        E, U = random_vectors(rng, n_events=3, n_partners=4)
+        space = transform_all_pairs(E, U)
+        rt = ThresholdAlgorithmIndex(space).query(U[0], 500)
+        rb = BruteForceIndex(space).query(U[0], 500)
+        assert len(rt.pair_indices) == len(rb.pair_indices) == space.n_pairs
+        np.testing.assert_allclose(
+            np.sort(rt.scores), np.sort(rb.scores), rtol=1e-9
+        )
+
+    def test_exclusion_removes_a_top_hit(self, rng):
+        E, U = random_vectors(rng, n_events=4, n_partners=6)
+        # Make partner 2 dominate: it owns the unexcluded top pair.
+        U[2] = 10.0
+        space = transform_all_pairs(E, U)
+        ta = ThresholdAlgorithmIndex(space)
+        bf = BruteForceIndex(space)
+        top = ta.query(U[0], 1)
+        assert space.partner_ids[top.pair_indices[0]] == 2
+        rt = ta.query(U[0], 5, exclude_partner=2)
+        rb = bf.query(U[0], 5, exclude_partner=2)
+        assert not np.any(space.partner_ids[rt.pair_indices] == 2)
+        np.testing.assert_allclose(
+            np.sort(rt.scores), np.sort(rb.scores), rtol=1e-9
+        )
+
+    def test_all_zero_extended_query(self, rng):
+        E, U = random_vectors(rng)
+        space = transform_all_pairs(E, U)
+        q = np.zeros(space.dim)
+        rt = ThresholdAlgorithmIndex(space).query_extended(
+            q, 7, exclude_partner=1
+        )
+        rb = BruteForceIndex(space).query_extended(q, 7, exclude_partner=1)
+        # Every candidate ties at score 0; both must return a full top-7
+        # of zero scores, honouring the exclusion.
+        assert rt.scores.shape == rb.scores.shape == (7,)
+        np.testing.assert_allclose(rt.scores, 0.0)
+        np.testing.assert_allclose(rb.scores, 0.0)
+        assert not np.any(space.partner_ids[rt.pair_indices] == 1)
+        assert not np.any(space.partner_ids[rb.pair_indices] == 1)
+
+
 class TestPruning:
     def test_top_k_shapes(self, rng):
         E, U = random_vectors(rng)

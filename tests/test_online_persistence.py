@@ -5,11 +5,14 @@ import pytest
 
 from repro.online import EventPartnerRecommender, transform_all_pairs
 from repro.online.persistence import (
+    load_engine,
     load_pair_space,
     load_recommender,
+    save_engine,
     save_pair_space,
     save_recommender,
 )
+from repro.serving import ServingEngine
 
 
 @pytest.fixture()
@@ -33,6 +36,56 @@ class TestPairSpaceRoundTrip:
         np.savez(tmp_path / "other.npz", data=np.ones(3))
         with pytest.raises(ValueError):
             load_pair_space(tmp_path / "other.npz")
+
+    def test_version_tag_round_trips(self, vectors, tmp_path):
+        U, E = vectors
+        space = transform_all_pairs(E, U)
+        space.version = 7
+        restored = load_pair_space(save_pair_space(space, tmp_path / "s.npz"))
+        assert restored.version == 7
+
+    def test_unversioned_space_defaults_to_zero(self, vectors, tmp_path):
+        U, E = vectors
+        space = transform_all_pairs(E, U)
+        restored = load_pair_space(save_pair_space(space, tmp_path / "s.npz"))
+        assert restored.version == 0
+
+
+class TestEngineRoundTrip:
+    @pytest.mark.parametrize("backend", ["ta", "bruteforce"])
+    def test_version_and_queries_survive(self, vectors, tmp_path, backend):
+        U, E = vectors
+        engine = ServingEngine(
+            U, E, np.arange(E.shape[0]), backend=backend, cache_size=16
+        ).warm()
+        # Age the version past 1 so the tag is distinguishable from a
+        # fresh engine's.
+        engine.rebuild()
+        path = save_engine(engine, tmp_path / "engine.npz")
+        restored = load_engine(path)
+        assert restored.backend_name == backend
+        assert restored.version == engine.version == 2
+        assert not restored.is_built  # lazy on load
+        for user in (0, 5):
+            a = engine.recommend(user, n=4)
+            b = restored.recommend(user, n=4)
+            assert [(r.event, r.partner) for r in a] == [
+                (r.event, r.partner) for r in b
+            ]
+            assert [r.score for r in a] == pytest.approx([r.score for r in b])
+        assert restored.space.version == 2
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        np.savez(tmp_path / "other.npz", data=np.ones(3))
+        with pytest.raises(ValueError):
+            load_engine(tmp_path / "other.npz")
+
+    def test_rejects_recommender_file(self, vectors, tmp_path):
+        U, E = vectors
+        reco = EventPartnerRecommender(U, E, np.arange(E.shape[0]))
+        path = save_recommender(reco, tmp_path / "reco.npz")
+        with pytest.raises(ValueError):
+            load_engine(path)
 
 
 class TestRecommenderRoundTrip:

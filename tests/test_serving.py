@@ -1,0 +1,301 @@
+"""Tests for the unified serving engine (backends, versioning, refresh,
+batching, caching, telemetry)."""
+
+import numpy as np
+import pytest
+
+from repro.online import EventPartnerRecommender
+from repro.serving import (
+    MetricsRegistry,
+    ServingEngine,
+    available_backends,
+    create_backend,
+)
+
+
+def random_vectors(rng, n_events=12, n_partners=18, k=5, sparsity=0.4):
+    E = np.abs(rng.normal(0.3, 0.3, (n_events, k)))
+    U = np.abs(rng.normal(0.3, 0.3, (n_partners, k)))
+    E[rng.random(E.shape) < sparsity] = 0.0
+    U[rng.random(U.shape) < sparsity] = 0.0
+    return E, U
+
+
+def make_engine(rng, backend="ta", **kwargs):
+    E, U = random_vectors(rng)
+    return ServingEngine(U, E, np.arange(E.shape[0]), backend=backend, **kwargs)
+
+
+class TestBackendRegistry:
+    def test_expected_backends_registered(self):
+        names = available_backends()
+        assert {"bruteforce", "ta", "bruteforce-pruned", "ta-pruned"} <= set(
+            names
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown retrieval backend"):
+            create_backend("psychic")
+
+    def test_engine_rejects_unknown_backend(self, rng):
+        E, U = random_vectors(rng)
+        with pytest.raises(ValueError):
+            ServingEngine(U, E, np.arange(E.shape[0]), backend="psychic")
+
+    def test_pruned_backend_defaults_to_pruning(self, rng):
+        full = make_engine(rng, backend="ta")
+        pruned = make_engine(rng, backend="ta-pruned")
+        assert pruned.n_candidate_pairs < full.n_candidate_pairs
+
+    def test_memory_bytes_reported(self, rng):
+        engine = make_engine(rng, backend="ta")
+        assert engine.memory_bytes() == 0  # lazy: nothing built yet
+        engine.warm()
+        assert engine.memory_bytes() > 0
+        # TA keeps sorted lists on top of the points the scan needs.
+        bf = make_engine(rng, backend="bruteforce").warm()
+        assert engine.memory_bytes() > bf.memory_bytes()
+
+
+class TestLazyBuildAndVersioning:
+    def test_build_is_lazy(self, rng):
+        engine = make_engine(rng)
+        assert not engine.is_built
+        assert engine.build_stats.n_full_builds == 0
+        engine.recommend(0, n=3)
+        assert engine.is_built
+        assert engine.build_stats.n_full_builds == 1
+
+    def test_space_carries_engine_version(self, rng):
+        engine = make_engine(rng)
+        assert engine.space.version == engine.version == 1
+
+    def test_rebuild_bumps_version(self, rng):
+        engine = make_engine(rng).warm()
+        engine.rebuild()
+        assert engine.version == 2
+        assert engine.space.version == 2
+        assert engine.build_stats.n_full_builds == 2
+
+
+class TestUserValidation:
+    @pytest.mark.parametrize("bad_user", [-1, 18, 1000])
+    def test_engine_raises_value_error(self, rng, bad_user):
+        engine = make_engine(rng)
+        with pytest.raises(ValueError, match="out of range"):
+            engine.query(bad_user, 3)
+
+    def test_facade_raises_value_error(self, rng):
+        E, U = random_vectors(rng)
+        reco = EventPartnerRecommender(U, E, np.arange(E.shape[0]))
+        with pytest.raises(ValueError, match="out of range"):
+            reco.query(U.shape[0], 3)
+        with pytest.raises(ValueError, match="out of range"):
+            reco.recommend(-1, n=3)
+
+    def test_batch_validates_every_user(self, rng):
+        engine = make_engine(rng)
+        with pytest.raises(ValueError, match="out of range"):
+            engine.recommend_batch([0, 1, 999], n=3)
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize(
+        "backend", ["bruteforce", "ta", "bruteforce-pruned", "ta-pruned"]
+    )
+    def test_batch_matches_per_user_loop(self, rng, backend):
+        engine = make_engine(rng, backend=backend, cache_size=0)
+        users = [0, 3, 7, 3, 11]  # includes a duplicate
+        loop = [engine.recommend(u, n=4) for u in users]
+        batch = engine.recommend_batch(users, n=4)
+        assert len(batch) == len(users)
+        for a, b in zip(loop, batch):
+            assert [(r.event, r.partner) for r in a] == [
+                (r.event, r.partner) for r in b
+            ]
+            assert [r.score for r in a] == pytest.approx(
+                [r.score for r in b], rel=1e-9
+            )
+
+    def test_batch_fills_and_uses_cache(self, rng):
+        engine = make_engine(rng, backend="bruteforce", cache_size=64)
+        users = [1, 2, 3]
+        engine.recommend_batch(users, n=5)
+        engine.recommend_batch(users, n=5)
+        summary = engine.metrics.summary()
+        assert summary["n_queries"] == 6
+        assert summary["n_cache_hits"] == 3
+        assert summary["cache_hit_rate"] == pytest.approx(0.5)
+
+
+class TestResultCache:
+    def test_repeat_query_hits_cache(self, rng):
+        engine = make_engine(rng, cache_size=8)
+        first = engine.query(2, 4)
+        second = engine.query(2, 4)
+        assert second is first  # the cached object itself
+        records = engine.metrics.records
+        assert [r.cache_hit for r in records] == [False, True]
+
+    def test_cache_disabled(self, rng):
+        engine = make_engine(rng, cache_size=0)
+        engine.query(2, 4)
+        engine.query(2, 4)
+        assert all(not r.cache_hit for r in engine.metrics.records)
+
+    def test_cache_evicts_lru(self, rng):
+        engine = make_engine(rng, cache_size=2)
+        engine.query(0, 3)
+        engine.query(1, 3)
+        engine.query(2, 3)  # evicts user 0
+        assert len(engine._cache) == 2
+        engine.query(1, 3)
+        assert engine.metrics.records[-1].cache_hit
+
+    def test_refresh_invalidates_cache(self, rng):
+        engine = make_engine(rng, cache_size=8).warm()
+        engine.query(0, 3)
+        K = engine.event_vectors.shape[1]
+        engine.refresh(
+            np.array([engine.n_events]),
+            new_event_vectors=np.abs(np.ones((1, K))),
+        )
+        engine.query(0, 3)
+        assert not engine.metrics.records[-1].cache_hit
+
+
+class TestRefresh:
+    def test_refresh_is_incremental(self, rng):
+        engine = make_engine(rng, backend="ta").warm()
+        n_partners = engine.candidate_partners.size
+        old_pairs = engine.n_candidate_pairs
+        transformed_before = engine.build_stats.n_pairs_transformed
+        old_points = engine.space.points[:old_pairs].copy()
+
+        K = engine.event_vectors.shape[1]
+        new_vecs = np.abs(np.full((2, K), 0.5))
+        added = engine.refresh(
+            np.arange(engine.n_events, engine.n_events + 2),
+            new_event_vectors=new_vecs,
+        )
+        assert added == 2
+        assert engine.version == 2
+        assert engine.space.version == 2
+        # No cold rebuild: only the new (event x partner) pairs were
+        # transformed, and the pre-existing rows are untouched.
+        assert engine.build_stats.n_full_builds == 1
+        assert engine.build_stats.n_incremental_refreshes == 1
+        assert (
+            engine.build_stats.n_pairs_transformed - transformed_before
+            == 2 * n_partners
+        )
+        assert engine.n_candidate_pairs == old_pairs + 2 * n_partners
+        np.testing.assert_array_equal(
+            engine.space.points[:old_pairs], old_points
+        )
+
+    @pytest.mark.parametrize("backend", ["ta", "bruteforce"])
+    def test_refreshed_engine_matches_cold_build(self, rng, backend):
+        E, U = random_vectors(rng)
+        K = E.shape[1]
+        extra = np.abs(
+            np.random.default_rng(5).normal(0.3, 0.3, (3, K))
+        )
+        incremental = ServingEngine(
+            U, E, np.arange(E.shape[0]), backend=backend, cache_size=0
+        ).warm()
+        incremental.refresh(
+            np.arange(E.shape[0], E.shape[0] + 3), new_event_vectors=extra
+        )
+        cold = ServingEngine(
+            U,
+            np.vstack([E, extra]),
+            np.arange(E.shape[0] + 3),
+            backend=backend,
+            cache_size=0,
+        )
+        for user in (0, 4, 9):
+            a = incremental.recommend(user, n=6)
+            b = cold.recommend(user, n=6)
+            assert [(r.event, r.partner) for r in a] == [
+                (r.event, r.partner) for r in b
+            ]
+            assert [r.score for r in a] == pytest.approx(
+                [r.score for r in b], rel=1e-9
+            )
+
+    def test_refresh_serves_new_events(self, rng):
+        engine = make_engine(rng).warm()
+        K = engine.event_vectors.shape[1]
+        # A dominant event: every user's best recommendation.
+        hot = np.full((1, K), 10.0)
+        new_id = engine.n_events
+        engine.refresh(np.array([new_id]), new_event_vectors=hot)
+        recs = engine.recommend(0, n=3)
+        assert recs[0].event == new_id
+
+    def test_refresh_before_build_defers_to_lazy_build(self, rng):
+        engine = make_engine(rng)
+        K = engine.event_vectors.shape[1]
+        engine.refresh(
+            np.array([engine.n_events]),
+            new_event_vectors=np.abs(np.ones((1, K))),
+        )
+        assert not engine.is_built
+        engine.warm()
+        assert engine.build_stats.n_full_builds == 1
+        assert engine.build_stats.n_incremental_refreshes == 0
+        assert engine.n_events - 1 in set(engine.space.event_ids.tolist())
+
+    def test_refresh_skips_already_served_events(self, rng):
+        engine = make_engine(rng).warm()
+        version = engine.version
+        assert engine.refresh(np.array([0, 1])) == 0
+        assert engine.version == version
+
+    def test_refresh_rejects_unknown_ids_without_vectors(self, rng):
+        engine = make_engine(rng).warm()
+        with pytest.raises(ValueError, match="outside the embedding matrix"):
+            engine.refresh(np.array([engine.n_events]))
+
+    def test_refresh_rejects_misaligned_ids(self, rng):
+        engine = make_engine(rng).warm()
+        K = engine.event_vectors.shape[1]
+        with pytest.raises(ValueError, match="appended embedding rows"):
+            engine.refresh(
+                np.array([engine.n_events + 5]),
+                new_event_vectors=np.ones((1, K)),
+            )
+
+
+class TestTelemetry:
+    def test_query_stats_recorded(self, rng):
+        metrics = MetricsRegistry()
+        engine = make_engine(rng, metrics=metrics)
+        engine.query(1, 4)
+        (record,) = metrics.records
+        assert record.user == 1
+        assert record.n == 4
+        assert record.backend == "ta"
+        assert record.version == 1
+        assert record.n_candidates == engine.n_candidate_pairs
+        assert 0 < record.n_examined <= record.n_candidates
+        assert record.seconds_total > 0
+        assert record.seconds_retrieval > 0
+        assert not record.cache_hit
+        assert record.as_dict()["user"] == 1
+
+    def test_summary_filters(self, rng):
+        metrics = MetricsRegistry()
+        ta = make_engine(rng, backend="ta", metrics=metrics)
+        bf = make_engine(rng, backend="bruteforce", metrics=metrics)
+        for u in (0, 1):
+            ta.query(u, 5)
+            bf.query(u, 5)
+        assert metrics.summary()["n_queries"] == 4
+        assert metrics.summary(backend="ta")["n_queries"] == 2
+        assert metrics.summary(backend="bruteforce", n=5)[
+            "mean_fraction_examined"
+        ] == pytest.approx(1.0)
+        metrics.reset()
+        assert len(metrics) == 0

@@ -22,6 +22,8 @@ class TestTrainerConfig:
             ("sampler", "magic"),
             ("graph_sampling", "sometimes"),
             ("lam", 0.0),
+            ("init_scale", 0.0),
+            ("adaptive_refresh_interval", 0),
             ("batch_size", 0),
             ("decay_horizon", 0),
             ("decay_floor", 2.0),
