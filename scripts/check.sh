@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
-# Lint + tier-1 tests, the pre-merge gate.
+# The pre-merge gate: ruff -> replint -> mypy -> tier-1 tests.
 #
 #   ./scripts/check.sh
 #
-# Runs ruff (if installed — skipped with a warning otherwise, e.g. in
-# minimal containers) followed by the tier-1 pytest command from
-# ROADMAP.md.  Fails fast on the first problem.
+# Stages:
+#   1. ruff    — general Python lint (E4/E7/E9/F + bugbear + numpy rules)
+#   2. replint — the project-specific invariant linter (REP001-REP005;
+#                see tools/replint/__init__.py).  Always runs: it is
+#                stdlib-only and lives in this repo.
+#   3. mypy    — the strict typing gate over src/repro (pyproject.toml)
+#   4. pytest  — the tier-1 suite from ROADMAP.md, with runtime
+#                shape/dtype contracts enabled
+#
+# ruff and mypy are skipped with a warning when not installed (minimal
+# containers); when present, any finding fails the gate.  Fails fast on
+# the first problem.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,5 +29,18 @@ else
     echo "== ruff not installed; skipping lint =="
 fi
 
+echo "== replint =="
+PYTHONPATH=tools${PYTHONPATH:+:$PYTHONPATH} python -m replint src tests benchmarks
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy =="
+    mypy
+elif python -c "import mypy" >/dev/null 2>&1; then
+    echo "== mypy (module) =="
+    python -m mypy
+else
+    echo "== mypy not installed; skipping typing gate =="
+fi
+
 echo "== tier-1 tests =="
-PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
+REPRO_CONTRACTS=1 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q

@@ -179,7 +179,7 @@ class CFAPRE(Recommender):
         cf = np.array(
             [
                 self.partner_score(user, int(p), int(x))
-                for p, x in zip(partners, events)
+                for p, x in zip(partners, events, strict=True)
             ],
             dtype=np.float64,
         )

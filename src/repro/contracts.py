@@ -1,0 +1,360 @@
+"""Runtime shape/dtype/non-negativity contracts for array-valued APIs.
+
+The GEM pipeline moves arrays whose validity the paper states in prose:
+embeddings are ``(n, K)`` and non-negative under the ReLU projection
+(Sec. III), the pair transform maps into exactly ``2K+1`` dimensions
+(Sec. IV), retrieval queries must match the candidate dimensionality.
+:func:`check_shapes` turns those statements into decorators::
+
+    @check_shapes("(K,),(n,K),(n,K)->(n,)")
+    def triple_scores(user_vec, partner_vecs, event_vecs): ...
+
+Spec mini-language
+------------------
+* One parenthesised shape per checked argument, comma-separated, in
+  parameter order (``self``/``cls`` is skipped automatically); ``->``
+  introduces the return shape (omit it to leave the result unchecked).
+* A dimension is an integer literal (exact match), a symbol (``n``,
+  ``K`` — bound on first use, must agree everywhere after), a linear
+  symbol expression (``2K+1`` — checked, or solved to bind the symbol),
+  or ``_`` (wildcard).
+* ``-`` skips an argument entirely (non-array parameters).
+* ``None`` argument values are skipped (optional array parameters).
+
+Enabling
+--------
+Contracts are compiled in only when the environment variable
+``REPRO_CONTRACTS`` is truthy (``1``/``true``/``yes``/``on``) at import
+time — the test suite turns it on in ``tests/conftest.py``.  When
+disabled, :func:`check_shapes` returns the function object *unchanged*
+(identity), so production call paths carry zero overhead — the serving
+benchmark asserts this.  ``enabled=True``/``False`` overrides the
+environment per decoration (used by the contract tests themselves).
+
+Violations raise :class:`ContractError`, a ``ValueError`` subclass so
+existing ``except ValueError`` / ``pytest.raises(ValueError)`` call
+sites keep working.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import re
+from typing import Any, Callable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "ContractError",
+    "check_shapes",
+    "contracts_enabled",
+    "parse_spec",
+]
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class ContractError(ValueError):
+    """An array argument or result violated its declared contract."""
+
+
+def contracts_enabled() -> bool:
+    """Whether ``REPRO_CONTRACTS`` currently requests contract checking."""
+    return os.environ.get("REPRO_CONTRACTS", "").strip().lower() in _TRUTHY
+
+
+# ----------------------------------------------------------------------
+# Spec parsing
+# ----------------------------------------------------------------------
+
+#: ``2K+1`` / ``K`` / ``3`` / ``_`` — coefficient * symbol + offset.
+_DIM_RE = re.compile(
+    r"^(?:(?P<coef>\d+)\s*\*?\s*)?(?P<name>[A-Za-z_]\w*)"
+    r"(?:\s*(?P<sign>[+-])\s*(?P<off>\d+))?$"
+)
+
+
+class _Dim:
+    """One dimension expression: ``coef * symbol + offset`` or a literal."""
+
+    __slots__ = ("coef", "name", "offset", "wildcard")
+
+    def __init__(self, token: str) -> None:
+        token = token.strip()
+        self.wildcard = token == "_"
+        self.coef = 1
+        self.name: str | None = None
+        self.offset = 0
+        if self.wildcard:
+            return
+        if token.isdigit():
+            self.offset = int(token)
+            return
+        match = _DIM_RE.match(token)
+        if match is None or match.group("name") == "_":
+            raise ValueError(f"invalid dimension token {token!r}")
+        self.name = match.group("name")
+        if match.group("coef"):
+            self.coef = int(match.group("coef"))
+        if match.group("off"):
+            sign = -1 if match.group("sign") == "-" else 1
+            self.offset = sign * int(match.group("off"))
+
+    def check(self, actual: int, env: dict[str, int]) -> str | None:
+        """Validate ``actual`` against this dim, binding symbols into
+        ``env``; returns an error description or ``None``."""
+        if self.wildcard:
+            return None
+        if self.name is None:
+            return None if actual == self.offset else f"expected {self.offset}"
+        if self.name in env:
+            expected = self.coef * env[self.name] + self.offset
+            return None if actual == expected else (
+                f"expected {self.render()}={expected} "
+                f"(with {self.name}={env[self.name]})"
+            )
+        residual = actual - self.offset
+        if residual < 0 or residual % self.coef != 0:
+            return f"cannot bind {self.render()} to {actual}"
+        env[self.name] = residual // self.coef
+        return None
+
+    def render(self) -> str:
+        if self.wildcard:
+            return "_"
+        if self.name is None:
+            return str(self.offset)
+        coef = "" if self.coef == 1 else f"{self.coef}"
+        off = (
+            ""
+            if self.offset == 0
+            else (f"+{self.offset}" if self.offset > 0 else str(self.offset))
+        )
+        return f"{coef}{self.name}{off}"
+
+
+class _ArgSpec:
+    """The parsed spec for one argument (or the return value)."""
+
+    __slots__ = ("skip", "dims")
+
+    def __init__(self, token: str) -> None:
+        token = token.strip()
+        self.skip = token == "-"
+        self.dims: tuple[_Dim, ...] = ()
+        if self.skip:
+            return
+        if not (token.startswith("(") and token.endswith(")")):
+            raise ValueError(f"argument spec must be '(...)' or '-', got {token!r}")
+        inner = token[1:-1].strip()
+        if inner.endswith(","):  # "(K,)" — 1-D convention
+            inner = inner[:-1]
+        self.dims = tuple(
+            _Dim(part) for part in inner.split(",") if part.strip()
+        ) if inner else ()
+
+    def render(self) -> str:
+        if self.skip:
+            return "-"
+        if len(self.dims) == 1:
+            return f"({self.dims[0].render()},)"
+        return "(" + ",".join(d.render() for d in self.dims) + ")"
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas not nested inside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced parentheses in {text!r}")
+        if ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if depth != 0:
+        raise ValueError(f"unbalanced parentheses in {text!r}")
+    if current.strip():
+        parts.append(current)
+    return parts
+
+
+def parse_spec(spec: str) -> tuple[list[_ArgSpec], list[_ArgSpec]]:
+    """Parse ``"(n,K),(K,)->(n,)"`` into (argument specs, return specs)."""
+    if "->" in spec:
+        left, right = spec.split("->", 1)
+    else:
+        left, right = spec, ""
+    arg_specs = [_ArgSpec(part) for part in _split_top_level(left)]
+    ret_specs = [_ArgSpec(part) for part in _split_top_level(right)]
+    return arg_specs, ret_specs
+
+
+# ----------------------------------------------------------------------
+# Value checking
+# ----------------------------------------------------------------------
+
+
+def _check_value(
+    label: str,
+    value: Any,
+    spec: _ArgSpec,
+    env: dict[str, int],
+    *,
+    func_name: str,
+    dtype: "np.dtype | tuple[np.dtype, ...] | None",
+    nonneg: bool,
+) -> None:
+    if spec.skip or value is None:
+        return
+    if isinstance(value, np.ndarray):
+        arr = value
+        # dtype is only enforceable on values that *are* arrays; lists
+        # and scalars are converted by the function body itself.
+        if dtype is not None:
+            allowed = dtype if isinstance(dtype, tuple) else (dtype,)
+            if arr.dtype not in allowed:
+                names = "/".join(str(d) for d in allowed)
+                raise ContractError(
+                    f"{func_name}: {label} has dtype {arr.dtype}, "
+                    f"contract requires {names}"
+                )
+    else:
+        try:
+            arr = np.asarray(value)
+        except Exception as exc:  # pragma: no cover - exotic inputs
+            raise ContractError(
+                f"{func_name}: {label} is not array-like ({exc})"
+            ) from exc
+    if arr.ndim != len(spec.dims):
+        raise ContractError(
+            f"{func_name}: {label} has shape {arr.shape}, contract "
+            f"requires {spec.render()} ({len(spec.dims)}-D)"
+        )
+    for axis, dim in enumerate(spec.dims):
+        problem = dim.check(int(arr.shape[axis]), env)
+        if problem is not None:
+            raise ContractError(
+                f"{func_name}: {label} axis {axis} has size "
+                f"{arr.shape[axis]}, contract {spec.render()}: {problem}"
+            )
+    if nonneg and arr.size and np.min(arr) < 0:
+        raise ContractError(
+            f"{func_name}: {label} violates the non-negativity invariant "
+            f"(min={float(np.min(arr))!r}); embeddings are ReLU-projected"
+        )
+
+
+# ----------------------------------------------------------------------
+# The decorator
+# ----------------------------------------------------------------------
+
+
+def check_shapes(
+    spec: str,
+    *,
+    dtype: "str | np.dtype | type | Sequence[Any] | None" = None,
+    nonneg: "bool | Sequence[str]" = False,
+    enabled: "bool | None" = None,
+) -> Callable[[F], F]:
+    """Validate array shapes/dtypes/non-negativity against ``spec``.
+
+    Parameters
+    ----------
+    spec:
+        The shape contract, e.g. ``"(n,K),(K,)->(n,)"`` (see module
+        docstring for the mini-language).
+    dtype:
+        Required dtype (or sequence of acceptable dtypes) for every
+        checked argument and result that is already an ``ndarray``.
+    nonneg:
+        ``True`` to require all checked arrays to be element-wise
+        non-negative, or a sequence of parameter names (``"return"``
+        for the result) to restrict the requirement.
+    enabled:
+        Force the contract on/off regardless of ``REPRO_CONTRACTS``;
+        ``None`` (default) reads the environment at decoration time.
+        When off, the decorator is the identity function.
+    """
+    arg_specs, ret_specs = parse_spec(spec)
+    if dtype is None:
+        dtypes: "np.dtype | tuple[np.dtype, ...] | None" = None
+    elif isinstance(dtype, (list, tuple)):
+        dtypes = tuple(np.dtype(d) for d in dtype)
+    else:
+        dtypes = np.dtype(dtype)
+
+    def decorate(func: F) -> F:
+        active = contracts_enabled() if enabled is None else enabled
+        if not active:
+            return func
+
+        signature = inspect.signature(func)
+        names = [
+            p.name
+            for p in signature.parameters.values()
+            if p.kind
+            in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        ]
+        if names and names[0] in ("self", "cls"):
+            names = names[1:]
+        if len(arg_specs) > len(names):
+            raise ValueError(
+                f"{func.__qualname__}: contract lists {len(arg_specs)} "
+                f"arguments but the function only has {len(names)}"
+            )
+        if isinstance(nonneg, bool):
+            nonneg_names = set(names) | {"return"} if nonneg else set()
+        else:
+            nonneg_names = set(nonneg)
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            bound = signature.bind(*args, **kwargs)
+            env: dict[str, int] = {}
+            for name, arg_spec in zip(names, arg_specs, strict=False):
+                if name in bound.arguments:
+                    _check_value(
+                        f"argument '{name}'",
+                        bound.arguments[name],
+                        arg_spec,
+                        env,
+                        func_name=func.__qualname__,
+                        dtype=dtypes,
+                        nonneg=name in nonneg_names,
+                    )
+            result = func(*args, **kwargs)
+            if ret_specs:
+                values = result if len(ret_specs) > 1 else (result,)
+                for index, ret_spec in enumerate(ret_specs):
+                    _check_value(
+                        "return value" if len(ret_specs) == 1 else (
+                            f"return value [{index}]"
+                        ),
+                        values[index],
+                        ret_spec,
+                        env,
+                        func_name=func.__qualname__,
+                        dtype=dtypes,
+                        nonneg="return" in nonneg_names,
+                    )
+            return result
+
+        wrapper.__repro_contract__ = spec  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -65,7 +65,7 @@ class AdaptiveNoiseSampler(NoiseSampler):
         lam: float = 200.0,
         refresh_interval: int | None = None,
         candidates: np.ndarray | None = None,
-    ):
+    ) -> None:
         if matrix.ndim != 2 or matrix.shape[0] == 0:
             raise ValueError(f"matrix must be non-empty 2-D, got {matrix.shape}")
         if lam <= 0:
@@ -182,7 +182,7 @@ class ExactAdaptiveSampler(NoiseSampler):
         matrix: np.ndarray,
         lam: float = 200.0,
         candidates: np.ndarray | None = None,
-    ):
+    ) -> None:
         if matrix.ndim != 2 or matrix.shape[0] == 0:
             raise ValueError(f"matrix must be non-empty 2-D, got {matrix.shape}")
         if lam <= 0:

@@ -21,7 +21,7 @@ class AliasTable:
     ``weights[i] / weights.sum()`` in O(1) each (vectorised over ``size``).
     """
 
-    def __init__(self, weights: np.ndarray):
+    def __init__(self, weights: np.ndarray) -> None:
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 1:
             raise ValueError(f"weights must be 1-D, got shape {weights.shape}")
@@ -35,7 +35,7 @@ class AliasTable:
 
         n = weights.size
         self.n = n
-        self.probabilities = np.asarray(weights) / total
+        self.probabilities = weights / total
 
         scaled = self.probabilities * n
         prob = np.zeros(n, dtype=np.float64)

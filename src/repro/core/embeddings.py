@@ -56,15 +56,15 @@ class EmbeddingSet:
         if scale <= 0:
             raise ValueError(f"scale must be > 0, got {scale}")
         rng = ensure_rng(rng)
-        matrices: dict[EntityType, np.ndarray] = {}
+        built: dict[EntityType, np.ndarray] = {}
         for etype, count in entity_counts.items():
             if count < 0:
                 raise ValueError(f"{etype}: negative entity count {count}")
             matrix = rng.normal(0.0, scale, size=(count, dim)).astype(np.float32)
             if nonnegative:
                 np.abs(matrix, out=matrix)
-            matrices[etype] = np.ascontiguousarray(matrix)
-        return cls(matrices=matrices, dim=dim)
+            built[etype] = np.ascontiguousarray(matrix, dtype=np.float32)
+        return cls(matrices=built, dim=dim)
 
     def of(self, entity_type: EntityType) -> np.ndarray:
         """The embedding matrix for ``entity_type``."""

@@ -17,9 +17,11 @@ pairs only.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.contracts import check_shapes
 from repro.core.embeddings import EmbeddingSet
 from repro.core.objective import sigmoid
 from repro.ebsn.graphs import EntityType
@@ -27,6 +29,9 @@ from repro.ebsn.regions import RegionAssignment
 from repro.ebsn.text import Vocabulary, tfidf_document, tokenize
 from repro.ebsn.timeslots import time_slots
 from repro.utils.rng import ensure_rng
+
+if TYPE_CHECKING:
+    from repro.serving.engine import ServingEngine
 
 
 @dataclass(slots=True)
@@ -83,7 +88,7 @@ class EventFoldIn:
         embeddings: EmbeddingSet,
         vocabulary: Vocabulary,
         regions: RegionAssignment,
-    ):
+    ) -> None:
         if regions.n_regions == 0:
             raise ValueError("regions must be non-empty")
         self.embeddings = embeddings
@@ -108,6 +113,7 @@ class EventFoldIn:
         edges.append((EntityType.LOCATION, int(np.argmin(d2)), 1.0))
         return edges
 
+    @check_shapes("-,- -> (K,)", dtype="float32")
     def fold_in(
         self,
         event: NewEventDescription,
@@ -140,16 +146,17 @@ class EventFoldIn:
             etype, node, _w = edges[int(rng.choice(len(edges), p=probabilities))]
             matrix = self.embeddings.of(etype).astype(np.float64)
             target = matrix[node]
-            g = 1.0 - float(sigmoid(np.array(vec @ target)))
+            g = 1.0 - float(sigmoid(np.array(vec @ target, dtype=np.float64)))
             grad = g * target
             for _ in range(config.n_negatives):
                 noise = matrix[int(rng.integers(0, matrix.shape[0]))]
-                grad -= float(sigmoid(np.array(vec @ noise))) * noise
+                grad -= float(sigmoid(np.array(vec @ noise, dtype=np.float64))) * noise
             vec += lr * grad
             if config.nonnegative:
                 np.maximum(vec, 0.0, out=vec)
         return vec.astype(np.float32)
 
+    @check_shapes("-,- -> (n,K)", dtype="float32")
     def fold_in_many(
         self,
         events: list[NewEventDescription],
@@ -162,7 +169,7 @@ class EventFoldIn:
 
     def fold_into_engine(
         self,
-        engine,
+        engine: ServingEngine,
         events: list[NewEventDescription],
         config: FoldInConfig | None = None,
     ) -> np.ndarray:

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 from dataclasses import replace
 from pathlib import Path
+from typing import Any, Callable
 
 import numpy as np
 
+from repro.contracts import check_shapes
 from repro.core.embeddings import EmbeddingSet
 from repro.core.interfaces import Recommender
 from repro.core.scoring import triple_score_matrix, triple_scores
@@ -38,7 +40,9 @@ class GEM(Recommender):
         scores = model.score_triples(user, partners, events)
     """
 
-    def __init__(self, config: TrainerConfig | None = None, *, n_samples: int = 200_000):
+    def __init__(
+        self, config: TrainerConfig | None = None, *, n_samples: int = 200_000
+    ) -> None:
         if n_samples < 0:
             raise ValueError(f"n_samples must be >= 0, got {n_samples}")
         self.config = config or TrainerConfig()
@@ -54,17 +58,17 @@ class GEM(Recommender):
     # Variant constructors
     # ------------------------------------------------------------------
     @classmethod
-    def gem_a(cls, *, n_samples: int = 200_000, **config_overrides) -> "GEM":
+    def gem_a(cls, *, n_samples: int = 200_000, **config_overrides: Any) -> "GEM":
         """The full model: adaptive adversarial negative sampling."""
         return cls(TrainerConfig.gem_a(**config_overrides), n_samples=n_samples)
 
     @classmethod
-    def gem_p(cls, *, n_samples: int = 200_000, **config_overrides) -> "GEM":
+    def gem_p(cls, *, n_samples: int = 200_000, **config_overrides: Any) -> "GEM":
         """GEM with the static degree-based noise sampler."""
         return cls(TrainerConfig.gem_p(**config_overrides), n_samples=n_samples)
 
     @classmethod
-    def pte(cls, *, n_samples: int = 200_000, **config_overrides) -> "GEM":
+    def pte(cls, *, n_samples: int = 200_000, **config_overrides: Any) -> "GEM":
         """The PTE baseline configuration (see TrainerConfig.pte)."""
         return cls(TrainerConfig.pte(**config_overrides), n_samples=n_samples)
 
@@ -88,7 +92,7 @@ class GEM(Recommender):
         bundle: GraphBundle,
         *,
         n_samples: int | None = None,
-        callback=None,
+        callback: Callable[[int, JointTrainer], None] | None = None,
         callback_every: int | None = None,
     ) -> "GEM":
         """Train on a graph bundle for ``n_samples`` gradient steps.
@@ -128,6 +132,7 @@ class GEM(Recommender):
     # ------------------------------------------------------------------
     # Recommender interface
     # ------------------------------------------------------------------
+    @check_shapes("-,(n,)->(n,)")
     def score_user_event(self, user: int, events: np.ndarray) -> np.ndarray:
         """Preference :math:`\\vec u^\\top \\vec x` for each candidate event."""
         emb = self._require_fitted()
@@ -135,6 +140,7 @@ class GEM(Recommender):
         x = emb.of(EntityType.EVENT)[np.asarray(events, dtype=np.int64)]
         return x.astype(np.float64) @ u
 
+    @check_shapes("-,(n,)->(n,)")
     def score_user_user(self, user: int, others: np.ndarray) -> np.ndarray:
         """Social proximity :math:`\\vec u^\\top \\vec{u'}`."""
         emb = self._require_fitted()
@@ -142,6 +148,7 @@ class GEM(Recommender):
         o = emb.of(EntityType.USER)[np.asarray(others, dtype=np.int64)]
         return o.astype(np.float64) @ u
 
+    @check_shapes("(n,),(n,)->(n,)")
     def score_user_event_aligned(
         self, users: np.ndarray, events: np.ndarray
     ) -> np.ndarray:
@@ -153,6 +160,7 @@ class GEM(Recommender):
             "nk,nk->n", uu.astype(np.float64), xx.astype(np.float64)
         )
 
+    @check_shapes("-,(n,),(n,)->(n,)")
     def score_triples(
         self, user: int, partners: np.ndarray, events: np.ndarray
     ) -> np.ndarray:
@@ -166,7 +174,10 @@ class GEM(Recommender):
             events_m[np.asarray(events, dtype=np.int64)],
         )
 
-    def score_all_pairs(self, user: int, partners: np.ndarray, events: np.ndarray):
+    @check_shapes("-,(p,),(e,)->(p,e)")
+    def score_all_pairs(
+        self, user: int, partners: np.ndarray, events: np.ndarray
+    ) -> np.ndarray:
         """Naive-method score matrix ``(n_partners, n_events)`` (Section IV)."""
         emb = self._require_fitted()
         users_m = emb.of(EntityType.USER)

@@ -65,7 +65,7 @@ class UniformNoiseSampler(NoiseSampler):
     graphs are trying to learn).
     """
 
-    def __init__(self, n_nodes: int, candidates: np.ndarray | None = None):
+    def __init__(self, n_nodes: int, candidates: np.ndarray | None = None) -> None:
         if n_nodes <= 0:
             raise ValueError(f"n_nodes must be > 0, got {n_nodes}")
         self.n_nodes = n_nodes
@@ -94,7 +94,7 @@ class DegreeNoiseSampler(NoiseSampler):
     the formula — they are never produced as noise.
     """
 
-    def __init__(self, degrees: np.ndarray, power: float = 0.75):
+    def __init__(self, degrees: np.ndarray, power: float = 0.75) -> None:
         degrees = np.asarray(degrees, dtype=np.float64)
         if degrees.ndim != 1 or degrees.size == 0:
             raise ValueError(f"degrees must be a non-empty vector, got {degrees.shape}")
@@ -116,7 +116,9 @@ class DegreeNoiseSampler(NoiseSampler):
         size: int,
         context_vector: np.ndarray | None = None,
     ) -> np.ndarray:
-        return self._candidates[np.asarray(self._table.sample(rng, size=size))]
+        return self._candidates[
+            np.asarray(self._table.sample(rng, size=size), dtype=np.int64)
+        ]
 
 
 def sample_truncated_geometric(

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import check_shapes
 
+
+@check_shapes("(K,),(n,K),(n,K)->(n,)")
 def triple_scores(
     user_vec: np.ndarray,
     partner_vecs: np.ndarray,
@@ -46,6 +49,7 @@ def triple_scores(
     )
 
 
+@check_shapes("(K,),(p,K),(e,K)->(p,e)")
 def triple_score_matrix(
     user_vec: np.ndarray,
     partner_vecs: np.ndarray,

@@ -10,7 +10,12 @@ thinks it is about).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.ebsn.text import Vocabulary
 
 
 def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -74,7 +79,7 @@ def cross_type_neighbors(
 def explain_event(
     event_vector: np.ndarray,
     word_matrix: np.ndarray,
-    vocabulary,
+    vocabulary: Vocabulary,
     n: int = 8,
 ) -> list[tuple[str, float]]:
     """The n words whose embeddings best align with an event's — a

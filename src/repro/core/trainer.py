@@ -28,6 +28,7 @@ graphs it matters).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 import numpy as np
 
@@ -125,17 +126,17 @@ class TrainerConfig:
             raise ValueError(f"decay_floor must be in [0, 1], got {self.decay_floor}")
 
     @classmethod
-    def gem_a(cls, **overrides) -> "TrainerConfig":
+    def gem_a(cls, **overrides: Any) -> "TrainerConfig":
         """GEM-A: bidirectional + adaptive adversarial sampler."""
         return cls(**{"sampler": "adaptive", "bidirectional": True, **overrides})
 
     @classmethod
-    def gem_p(cls, **overrides) -> "TrainerConfig":
+    def gem_p(cls, **overrides: Any) -> "TrainerConfig":
         """GEM-P: bidirectional + static degree-based sampler."""
         return cls(**{"sampler": "degree", "bidirectional": True, **overrides})
 
     @classmethod
-    def pte(cls, **overrides) -> "TrainerConfig":
+    def pte(cls, **overrides: Any) -> "TrainerConfig":
         """PTE baseline: unidirectional degree sampling and *uniform* graph
         selection (treats every bipartite graph equally, ignoring edge-count
         skew — the paper's stated difference from GEM's joint training)."""
@@ -193,7 +194,7 @@ class JointTrainer:
         *,
         embeddings: EmbeddingSet | None = None,
         seed: "int | np.random.Generator | None" = None,
-    ):
+    ) -> None:
         self.config = config or TrainerConfig()
         self.config.validate()
         self.bundle = bundle
@@ -348,7 +349,7 @@ class JointTrainer:
         if state.adjacency_left is not None:
             neg_right = self._reject(
                 neg_right.reshape(1, -1),
-                np.array([i]),
+                np.array([i], dtype=np.int64),
                 state.adjacency_left,
                 state.right_sampler,
             ).ravel()
@@ -360,7 +361,7 @@ class JointTrainer:
             if state.adjacency_right is not None:
                 neg_left = self._reject(
                     neg_left.reshape(1, -1),
-                    np.array([j]),
+                    np.array([j], dtype=np.int64),
                     state.adjacency_right,
                     state.left_sampler,
                 ).ravel()
@@ -433,7 +434,7 @@ class JointTrainer:
         self,
         n_steps: int,
         *,
-        callback=None,
+        callback: Callable[[int, JointTrainer], None] | None = None,
         callback_every: int | None = None,
         log_every: int | None = None,
     ) -> EmbeddingSet:

@@ -100,19 +100,19 @@ class BipartiteGraph:
 
     def edge_set(self) -> set[tuple[int, int]]:
         """Set of (left, right) pairs; used to avoid sampling observed edges."""
-        return set(zip(self.left.tolist(), self.right.tolist()))
+        return set(zip(self.left.tolist(), self.right.tolist(), strict=True))
 
     def adjacency_left(self) -> list[set[int]]:
         """Right-neighbour sets per left node (positive-edge exclusion)."""
         adj: list[set[int]] = [set() for _ in range(self.n_left)]
-        for l, r in zip(self.left.tolist(), self.right.tolist()):
+        for l, r in zip(self.left.tolist(), self.right.tolist(), strict=True):
             adj[l].add(r)
         return adj
 
     def adjacency_right(self) -> list[set[int]]:
         """Left-neighbour sets per right node."""
         adj: list[set[int]] = [set() for _ in range(self.n_right)]
-        for l, r in zip(self.left.tolist(), self.right.tolist()):
+        for l, r in zip(self.left.tolist(), self.right.tolist(), strict=True):
             adj[r].add(l)
         return adj
 

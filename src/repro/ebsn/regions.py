@@ -52,7 +52,7 @@ class RegionAssignment:
 
     def as_dict(self) -> dict[str, int]:
         """Dense ``venue_id -> region_id`` mapping."""
-        return {vid: int(lab) for vid, lab in zip(self.venue_ids, self.labels)}
+        return {vid: int(lab) for vid, lab in zip(self.venue_ids, self.labels, strict=True)}
 
 
 def assign_regions(

@@ -105,7 +105,7 @@ def grid_search(
     best_params: dict | None = None
     best_score = -1.0
     for values in itertools.product(*(param_grid[k] for k in names)):
-        params = dict(zip(names, values))
+        params = dict(zip(names, values, strict=True))
         model = model_factory(**params).fit(bundle)
         score = evaluate_on_validation(
             model, split, n=n, max_cases=max_cases, seed=seed

@@ -118,14 +118,14 @@ def run_fig7(
             k,
         )
         allowed: set[tuple[int, int]] = set(
-            zip(rows.tolist(), candidate_events[cols].tolist())
+            zip(rows.tolist(), candidate_events[cols].tolist(), strict=True)
         )
 
         def candidate_filter(partners: np.ndarray, events: np.ndarray) -> np.ndarray:
             return np.fromiter(
                 (
                     (int(p), int(x)) in allowed
-                    for p, x in zip(partners, events)
+                    for p, x in zip(partners, events, strict=True)
                 ),
                 dtype=bool,
                 count=partners.shape[0],

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import check_shapes
 from repro.online.ta import RetrievalResult
 from repro.online.transform import PairSpace, query_vector
 
@@ -17,7 +18,7 @@ from repro.online.transform import PairSpace, query_vector
 class BruteForceIndex:
     """Full-scan retrieval over a transformed pair space."""
 
-    def __init__(self, space: PairSpace):
+    def __init__(self, space: PairSpace) -> None:
         self.space = space
 
     @property
@@ -55,6 +56,7 @@ class BruteForceIndex:
             query_vector(user_vector), n, exclude_partner=exclude_partner
         )
 
+    @check_shapes("(M,)")
     def query_extended(
         self,
         q: np.ndarray,
@@ -116,6 +118,7 @@ class BruteForceIndex:
         # contiguous for the argpartition that follows.
         all_scores = queries @ self.space.points.T
         results = []
+        # replint: allow-loop(per-query top-n decode over the shared matmul)
         for b in range(queries.shape[0]):
             exclude = (
                 int(exclude_partners[b])

@@ -40,7 +40,7 @@ def save_pair_space(space: PairSpace, path: "str | Path") -> Path:
         partner_ids=space.partner_ids,
         event_ids=space.event_ids,
         embedding_version=np.array([space.version], dtype=np.int64),
-        **{_FORMAT_KEY: np.array([_FORMAT_VERSION])},
+        **{_FORMAT_KEY: np.array([_FORMAT_VERSION], dtype=np.int64)},
     )
     return path
 

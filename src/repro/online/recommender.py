@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.online.ta import RetrievalResult
+from repro.online.bruteforce import BruteForceIndex
+from repro.online.ta import RetrievalResult, ThresholdAlgorithmIndex
 from repro.online.transform import PairSpace
 from repro.serving.engine import Recommendation, ServingEngine
 
@@ -61,7 +62,7 @@ class EventPartnerRecommender:
         candidate_partners: np.ndarray | None = None,
         top_k_events: int | None = None,
         method: str = "ta",
-    ):
+    ) -> None:
         if method not in METHODS:
             raise ValueError(f"method must be one of {METHODS}, got {method!r}")
         # The facade keeps the original eager-build semantics: the index
@@ -109,7 +110,7 @@ class EventPartnerRecommender:
         return self.engine.space
 
     @property
-    def index(self):
+    def index(self) -> BruteForceIndex | ThresholdAlgorithmIndex | None:
         """The underlying index object (TA or brute-force)."""
         return self.engine.backend.index
 

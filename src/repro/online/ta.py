@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.contracts import check_shapes
 from repro.online.transform import PairSpace, query_vector
 
 
@@ -46,14 +47,14 @@ class RetrievalResult:
         """Decode to ``(event_id, partner_id, score)`` triples."""
         return [
             (int(space.event_ids[i]), int(space.partner_ids[i]), float(s))
-            for i, s in zip(self.pair_indices, self.scores)
+            for i, s in zip(self.pair_indices, self.scores, strict=True)
         ]
 
 
 class ThresholdAlgorithmIndex:
     """Offline index: per-dimension descending-order candidate lists."""
 
-    def __init__(self, space: PairSpace):
+    def __init__(self, space: PairSpace) -> None:
         self.space = space
         # (n_pairs, dim): column f lists candidate indices by value desc.
         self.sorted_lists = np.argsort(-space.points, axis=0, kind="stable")
@@ -100,6 +101,7 @@ class ThresholdAlgorithmIndex:
             np.argsort(-points[n_old:], axis=0, kind="stable") + n_old
         )
         merged = np.empty((space.n_pairs, space.dim), dtype=np.int64)
+        # replint: allow-loop(per-dimension merge; dim = 2K+1, not n_pairs)
         for f in range(space.dim):
             a = old_lists[:, f]
             b = new_lists[:, f]
@@ -135,6 +137,7 @@ class ThresholdAlgorithmIndex:
             chunk=chunk,
         )
 
+    @check_shapes("(M,)", nonneg=["q"])
     def query_extended(
         self,
         q: np.ndarray,
@@ -219,6 +222,7 @@ class ThresholdAlgorithmIndex:
         n_examined = 0
         n_sorted = 0
 
+        # replint: allow-loop(TA rounds are sequential; threshold depends on prior round)
         while True:
             threshold = float(contrib.sum())
             if len(heap) >= n and heap[0][0] >= threshold:
@@ -242,7 +246,8 @@ class ThresholdAlgorithmIndex:
             if fresh.size:
                 n_examined += int(fresh.size)
                 scores = points[fresh] @ q  # random access, vectorised
-                for cand, score in zip(fresh.tolist(), scores.tolist()):
+                # replint: allow-loop(bounded heap maintenance, <= chunk items)
+                for cand, score in zip(fresh.tolist(), scores.tolist(), strict=True):
                     if len(heap) < n:
                         heapq.heappush(heap, (score, cand))
                     elif score > heap[0][0]:

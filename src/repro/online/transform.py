@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.contracts import check_shapes
+
 
 @dataclass(slots=True)
 class PairSpace:
@@ -74,6 +76,7 @@ class PairSpace:
         return int(self.event_ids[index]), int(self.partner_ids[index])
 
 
+@check_shapes("(n,K),(n,K),(n,),(n,)")
 def transform_pairs(
     event_vectors: np.ndarray,
     partner_vectors: np.ndarray,
@@ -135,6 +138,7 @@ def transform_all_pairs(
     )
 
 
+@check_shapes("(K,)->(2K+1,)")
 def query_vector(user_vector: np.ndarray) -> np.ndarray:
     """The extended query :math:`\\vec q_u = (\\vec u, \\vec u, 1)`."""
     user_vector = np.asarray(user_vector, dtype=np.float64)

@@ -64,10 +64,10 @@ class RetrievalBackend(Protocol):
 _REGISTRY: dict[str, Callable[[], "RetrievalBackend"]] = {}
 
 
-def register_backend(name: str):
+def register_backend(name: str) -> Callable[[type], type]:
     """Class decorator: make ``name`` constructible via :func:`create_backend`."""
 
-    def wrap(cls):
+    def wrap(cls: type) -> type:
         if name in _REGISTRY:
             raise ValueError(f"backend {name!r} is already registered")
         _REGISTRY[name] = cls
@@ -101,7 +101,7 @@ class _IndexBackend:
     _not_built = "backend not built; call build(space) first"
 
     def __init__(self) -> None:
-        self.index = None
+        self.index: BruteForceIndex | ThresholdAlgorithmIndex | None = None
 
     @property
     def space(self) -> PairSpace:

@@ -95,7 +95,7 @@ class ServingEngine:
         backend: str = "ta",
         cache_size: int = 256,
         metrics: MetricsRegistry | None = None,
-    ):
+    ) -> None:
         self.user_vectors = np.asarray(user_vectors, dtype=np.float64)
         self.event_vectors = np.asarray(event_vectors, dtype=np.float64)
         self.candidate_events = np.asarray(candidate_events, dtype=np.int64)
@@ -346,6 +346,7 @@ class ServingEngine:
             return
         self._cache[key] = result
         self._cache.move_to_end(key)
+        # replint: allow-loop(LRU eviction pops at most one stale entry)
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
 
@@ -404,7 +405,10 @@ class ServingEngine:
         product.  Results are identical to calling :meth:`recommend` per
         user.
         """
-        users = [self._validate_user(u) for u in np.atleast_1d(np.asarray(users))]
+        users = [
+            self._validate_user(u)
+            for u in np.atleast_1d(np.asarray(users, dtype=np.int64))
+        ]
         self.warm()
         n = int(n)
         results: dict[int, RetrievalResult] = {}
@@ -412,6 +416,7 @@ class ServingEngine:
         misses: list[int] = []
         with _Timer() as total:
             pending: set[int] = set()
+            # replint: allow-loop(per-user cache/dedup bookkeeping, O(batch))
             for u in users:
                 cached = self._cache_get((self._version, u, n))
                 if cached is not None:
@@ -439,7 +444,8 @@ class ServingEngine:
                             for i, u in enumerate(misses)
                         ]
                 t_q, t_r = tq.seconds, tr.seconds
-                for u, result in zip(misses, batch):
+                # replint: allow-loop(cache insertion per miss, O(batch))
+                for u, result in zip(misses, batch, strict=True):
                     results[u] = result
                     hit_flags[u] = False
                     self._cache_put((self._version, u, n), result)
@@ -447,6 +453,7 @@ class ServingEngine:
         per_query = total.seconds / max(len(users), 1)
         per_q = t_q / max(len(misses), 1)
         per_r = t_r / max(len(misses), 1)
+        # replint: allow-loop(telemetry record per query, O(batch))
         for u in users:
             hit = hit_flags[u]
             result = results[u]

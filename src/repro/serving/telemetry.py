@@ -107,7 +107,7 @@ class MetricsRegistry:
             return len(self._records)
 
     # ------------------------------------------------------------------
-    def select(self, **criteria) -> list[QueryStats]:
+    def select(self, **criteria: object) -> list[QueryStats]:
         """Records whose fields match every ``criteria`` item exactly."""
         return [
             r
@@ -115,7 +115,7 @@ class MetricsRegistry:
             if all(getattr(r, k) == v for k, v in criteria.items())
         ]
 
-    def summary(self, **criteria) -> dict:
+    def summary(self, **criteria: object) -> dict:
         """Aggregate statistics over the matching records.
 
         Keys: ``n_queries``, ``n_cache_hits``, ``cache_hit_rate``,

@@ -7,6 +7,13 @@ should build its own copy).
 
 from __future__ import annotations
 
+import os
+
+# Runtime shape/dtype contracts are compiled in at repro import time, so
+# this must run before anything from repro is imported (conftest.py is
+# loaded first by pytest, making it the reliable switch point).
+os.environ.setdefault("REPRO_CONTRACTS", "1")
+
 import numpy as np
 import pytest
 

@@ -1,0 +1,300 @@
+"""Unit tests for the project invariant linter (tools/replint).
+
+Each rule gets a positive (violating) snippet, a negative (clean)
+snippet, and a suppression-pragma case; the CLI is exercised end to end
+against the seeded violation fixture the CI pipeline uses.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TOOLS = REPO_ROOT / "tools"
+if str(TOOLS) not in sys.path:
+    sys.path.insert(0, str(TOOLS))
+
+from replint import LintConfig, RULE_CODES, lint_paths, lint_source  # noqa: E402
+from replint.runner import main  # noqa: E402
+
+HOT_PATH = "src/repro/online/fake.py"
+CORE_PATH = "src/repro/core/fake.py"
+OTHER_PATH = "src/repro/experiments/fake.py"
+TEST_PATH = "tests/test_fake.py"
+
+
+def codes(source: str, path: str, select: list[str] | None = None) -> list[str]:
+    return [v.code for v in lint_source(source, path, select=select)]
+
+
+# ----------------------------------------------------------------------
+# REP001 — global random state
+# ----------------------------------------------------------------------
+class TestRep001:
+    def test_flags_global_np_random_call(self):
+        src = "import numpy as np\nx = np.random.rand(5)\n"
+        assert codes(src, OTHER_PATH, ["REP001"]) == ["REP001"]
+
+    def test_flags_unseeded_default_rng(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert codes(src, OTHER_PATH, ["REP001"]) == ["REP001"]
+
+    def test_seeded_default_rng_is_clean(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert codes(src, OTHER_PATH, ["REP001"]) == []
+
+    def test_generator_constructors_are_clean(self):
+        src = (
+            "import numpy as np\n"
+            "g = np.random.Generator(np.random.PCG64(3))\n"
+            "s = np.random.SeedSequence(1)\n"
+        )
+        assert codes(src, OTHER_PATH, ["REP001"]) == []
+
+    def test_flags_from_import_of_numpy_random(self):
+        src = "from numpy.random import rand\nx = rand(5)\n"
+        assert codes(src, OTHER_PATH, ["REP001"]) == ["REP001"]
+
+    def test_exempt_in_test_files(self):
+        src = "import numpy as np\nx = np.random.rand(5)\n"
+        assert codes(src, TEST_PATH, ["REP001"]) == []
+
+    def test_allow_pragma_suppresses(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # replint: allow(REP001)\n"
+        )
+        assert codes(src, OTHER_PATH, ["REP001"]) == []
+
+
+# ----------------------------------------------------------------------
+# REP002 — hot-path loops
+# ----------------------------------------------------------------------
+class TestRep002:
+    LOOP = "def f(xs):\n    for x in xs:\n        print(x)\n"
+
+    def test_flags_loop_in_hot_path(self):
+        assert "REP002" in codes(self.LOOP, HOT_PATH, ["REP002"])
+
+    def test_flags_while_in_hot_path(self):
+        src = "def f():\n    while True:\n        break\n"
+        assert "REP002" in codes(src, HOT_PATH, ["REP002"])
+
+    def test_loop_allowed_outside_hot_paths(self):
+        assert codes(self.LOOP, OTHER_PATH, ["REP002"]) == []
+
+    def test_comprehension_is_not_a_loop(self):
+        src = "def f(xs):\n    return [x + 1 for x in xs]\n"
+        assert codes(src, HOT_PATH, ["REP002"]) == []
+
+    def test_allow_loop_pragma_with_reason(self):
+        src = (
+            "def f(xs):\n"
+            "    for x in xs:  # replint: allow-loop(bounded by batch)\n"
+            "        print(x)\n"
+        )
+        assert codes(src, HOT_PATH, ["REP002"]) == []
+
+    def test_allow_loop_pragma_on_preceding_line(self):
+        src = (
+            "def f(xs):\n"
+            "    # replint: allow-loop(bounded by batch)\n"
+            "    for x in xs:\n"
+            "        print(x)\n"
+        )
+        assert codes(src, HOT_PATH, ["REP002"]) == []
+
+    def test_allow_loop_without_reason_is_malformed(self):
+        src = (
+            "def f(xs):\n"
+            "    for x in xs:  # replint: allow-loop()\n"
+            "        print(x)\n"
+        )
+        result = codes(src, HOT_PATH, ["REP002"])
+        # The loop is NOT suppressed and the empty pragma is reported.
+        assert result.count("REP002") == 2
+
+    def test_malformed_pragma_not_reported_in_test_files(self):
+        src = (
+            "def f(xs):\n"
+            "    for x in xs:  # replint: allow-loop()\n"
+            "        print(x)\n"
+        )
+        assert codes(src, TEST_PATH, ["REP002"]) == []
+
+    def test_core_adaptive_is_hot(self):
+        assert "REP002" in codes(
+            self.LOOP, "src/repro/core/adaptive.py", ["REP002"]
+        )
+
+
+# ----------------------------------------------------------------------
+# REP003 — complete annotations
+# ----------------------------------------------------------------------
+class TestRep003:
+    def test_flags_missing_annotations(self):
+        src = "def f(a, b=1):\n    return a\n"
+        out = lint_source(src, CORE_PATH, select=["REP003"])
+        assert [v.code for v in out] == ["REP003"]
+        assert "a" in out[0].message and "return" in out[0].message
+
+    def test_fully_annotated_is_clean(self):
+        src = "def f(a: int, b: int = 1) -> int:\n    return a + b\n"
+        assert codes(src, CORE_PATH, ["REP003"]) == []
+
+    def test_self_and_cls_are_exempt(self):
+        src = (
+            "class C:\n"
+            "    def m(self, x: int) -> int:\n"
+            "        return x\n"
+            "    @classmethod\n"
+            "    def c(cls) -> None:\n"
+            "        pass\n"
+        )
+        assert codes(src, CORE_PATH, ["REP003"]) == []
+
+    def test_private_functions_are_exempt(self):
+        src = "def _helper(a):\n    return a\n"
+        assert codes(src, CORE_PATH, ["REP003"]) == []
+
+    def test_star_args_need_annotations(self):
+        src = "def f(*args, **kwargs) -> None:\n    pass\n"
+        out = lint_source(src, CORE_PATH, select=["REP003"])
+        assert "*args" in out[0].message and "**kwargs" in out[0].message
+
+    def test_not_applied_outside_typed_api(self):
+        src = "def f(a):\n    return a\n"
+        assert codes(src, OTHER_PATH, ["REP003"]) == []
+
+
+# ----------------------------------------------------------------------
+# REP004 — pinned dtypes at the API boundary
+# ----------------------------------------------------------------------
+class TestRep004:
+    def test_flags_unpinned_asarray(self):
+        src = (
+            "import numpy as np\n"
+            "def f(x: object) -> object:\n"
+            "    return np.asarray(x)\n"
+        )
+        assert codes(src, CORE_PATH, ["REP004"]) == ["REP004"]
+
+    def test_dtype_keyword_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(x: object) -> object:\n"
+            "    return np.asarray(x, dtype=np.float64)\n"
+        )
+        assert codes(src, CORE_PATH, ["REP004"]) == []
+
+    def test_positional_dtype_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(x: object) -> object:\n"
+            "    return np.array(x, np.float64)\n"
+        )
+        assert codes(src, CORE_PATH, ["REP004"]) == []
+
+    def test_private_functions_are_exempt(self):
+        src = (
+            "import numpy as np\n"
+            "def _f(x):\n"
+            "    return np.asarray(x)\n"
+        )
+        assert codes(src, CORE_PATH, ["REP004"]) == []
+
+    def test_allow_pragma_suppresses(self):
+        src = (
+            "import numpy as np\n"
+            "def f(x: object) -> object:\n"
+            "    return np.asarray(x)  # replint: allow(REP004)\n"
+        )
+        assert codes(src, CORE_PATH, ["REP004"]) == []
+
+
+# ----------------------------------------------------------------------
+# REP005 — embedding mutation discipline
+# ----------------------------------------------------------------------
+class TestRep005:
+    def test_flags_item_assignment(self):
+        src = "def f(embeddings, i):\n    embeddings[i] = 0.0\n"
+        assert codes(src, OTHER_PATH, ["REP005"]) == ["REP005"]
+
+    def test_flags_augmented_assignment(self):
+        src = "def f(model, i, g):\n    model.embeddings[i] += g\n"
+        assert codes(src, OTHER_PATH, ["REP005"]) == ["REP005"]
+
+    def test_flags_out_argument(self):
+        src = (
+            "import numpy as np\n"
+            "def f(user_vectors):\n"
+            "    np.maximum(user_vectors, 0.0, out=user_vectors)\n"
+        )
+        assert codes(src, OTHER_PATH, ["REP005"]) == ["REP005"]
+
+    def test_flags_ufunc_at(self):
+        src = (
+            "import numpy as np\n"
+            "def f(emb, i, g):\n"
+            "    np.add.at(emb.of(0), i, g)\n"
+        )
+        assert codes(src, OTHER_PATH, ["REP005"]) == ["REP005"]
+
+    def test_trainer_and_fold_in_are_exempt(self):
+        src = "def f(embeddings, i):\n    embeddings[i] = 0.0\n"
+        assert codes(src, "src/repro/core/trainer.py", ["REP005"]) == []
+        assert codes(src, "src/repro/core/fold_in.py", ["REP005"]) == []
+
+    def test_unrelated_subscript_write_is_clean(self):
+        src = "def f(cache, k, v):\n    cache[k] = v\n"
+        assert codes(src, OTHER_PATH, ["REP005"]) == []
+
+    def test_tests_are_exempt(self):
+        src = "def f(embeddings, i):\n    embeddings[i] = 0.0\n"
+        assert codes(src, TEST_PATH, ["REP005"]) == []
+
+
+# ----------------------------------------------------------------------
+# Runner / CLI
+# ----------------------------------------------------------------------
+class TestRunner:
+    def test_syntax_error_reports_rep000(self):
+        out = lint_source("def f(:\n", OTHER_PATH)
+        assert [v.code for v in out] == ["REP000"]
+
+    def test_unknown_select_code_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_source("x = 1\n", OTHER_PATH, select=["REP999"])
+
+    def test_rule_codes_are_the_documented_five(self):
+        assert RULE_CODES == ("REP001", "REP002", "REP003", "REP004", "REP005")
+
+    def test_repo_src_is_clean(self):
+        assert lint_paths([str(REPO_ROOT / "src")]) == []
+
+    def test_cli_clean_run_exits_zero(self, capsys):
+        assert main([str(REPO_ROOT / "src" / "repro" / "contracts.py")]) == 0
+        assert "ok" in capsys.readouterr().err
+
+    def test_cli_flags_violation_fixture(self, capsys):
+        fixture = (
+            REPO_ROOT
+            / "tools/replint/fixtures/repro/online/bad_module.py"
+        )
+        assert main([str(fixture)]) == 1
+        captured = capsys.readouterr()
+        for code in RULE_CODES:
+            assert code in captured.out, f"{code} missing from fixture output"
+
+    def test_cli_missing_path_exits_two(self, capsys):
+        assert main(["no/such/path"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULE_CODES:
+            assert code in out

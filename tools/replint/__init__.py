@@ -1,0 +1,59 @@
+"""replint — the project-specific invariant linter for the GEM reproduction.
+
+The GEM model's correctness rests on invariants the paper states in
+prose: non-negative embeddings under the ReLU projection (Sec. III), the
+``(2K+1)``-dimensional pair transform (Sec. IV), a seeded
+``np.random.Generator`` threaded through every stochastic component, and
+vectorised (loop-free) hot paths behind the Table VI / Fig 7 efficiency
+claims.  ``replint`` turns those review-time conventions into
+machine-checked rules over the AST:
+
+========  ==============================================================
+REP001    No global ``np.random.*`` calls and no unseeded
+          ``np.random.default_rng()`` outside test fixtures — all
+          randomness must accept an explicit ``np.random.Generator``
+          (normalised via :func:`repro.utils.rng.ensure_rng`).
+REP002    No Python-level ``for``/``while`` loops over users, events or
+          pairs inside the hot-path modules (``repro/online``,
+          ``repro/serving``, ``repro/core/adaptive``) unless annotated
+          with ``# replint: allow-loop(<reason>)``.
+REP003    Public functions in ``repro/core``, ``repro/online`` and
+          ``repro/serving`` must carry complete type annotations
+          (every parameter and the return type).
+REP004    ``np.asarray``/``np.array`` calls inside public functions of
+          the same packages must pin an explicit ``dtype`` — the
+          public-API boundary is where float32 embeddings, Python lists
+          and int32 ids enter the system.
+REP005    Embedding matrices (reached through ``EmbeddingSet`` accessors:
+          ``.embeddings``, ``.matrices``, ``.of(...)``,
+          ``user_vectors``/``event_vectors``) may only be mutated in
+          place inside ``core/trainer.py`` and ``core/fold_in.py`` —
+          guarding the non-negative projection and the Hogwild write
+          discipline.
+========  ==============================================================
+
+Suppression pragmas (same line as the statement, or the line above)::
+
+    for f in range(dim):  # replint: allow-loop(2K+1 dims, not candidates)
+    rng = np.random.default_rng()  # replint: allow(REP001): entropy entry point
+
+Run as ``python -m replint src tests benchmarks`` (with ``tools`` on
+``PYTHONPATH``; ``scripts/check.sh`` wires this up).
+"""
+
+from replint.config import LintConfig
+from replint.rules import ALL_RULES, RULE_CODES
+from replint.runner import Violation, lint_file, lint_paths, lint_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "LintConfig",
+    "RULE_CODES",
+    "Violation",
+    "__version__",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,8 @@
+"""``python -m replint [paths...]`` — run the invariant linter."""
+
+import sys
+
+from replint.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

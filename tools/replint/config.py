@@ -1,0 +1,106 @@
+"""Path classification and rule scoping for replint.
+
+All matching is done on POSIX-style path suffixes so the linter behaves
+identically whether it is invoked from the repository root (the normal
+``python -m replint src tests benchmarks``) or handed absolute paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+
+def _posix(path: str) -> str:
+    return str(PurePosixPath(path.replace("\\", "/")))
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which files each rule applies to.
+
+    The defaults encode this repository's layout; tests construct custom
+    configs to exercise the rules on synthetic trees.
+    """
+
+    #: Modules whose query/update paths are benchmarked (Table VI, Fig 7)
+    #: and must stay vectorised: REP002 forbids ``for``/``while`` here.
+    hot_path_prefixes: tuple[str, ...] = (
+        "repro/online/",
+        "repro/serving/",
+        "repro/core/adaptive.py",
+    )
+
+    #: Packages whose public functions form the typed API surface:
+    #: REP003 (complete annotations) and REP004 (pinned dtypes) apply.
+    typed_api_prefixes: tuple[str, ...] = (
+        "repro/core/",
+        "repro/online/",
+        "repro/serving/",
+        "repro/contracts.py",
+    )
+
+    #: Files allowed to mutate embedding matrices in place (REP005):
+    #: the trainer (SGD + ReLU projection) and the fold-in optimiser.
+    embedding_mutators: tuple[str, ...] = (
+        "repro/core/trainer.py",
+        "repro/core/fold_in.py",
+    )
+
+    #: Identifiers that reach an :class:`~repro.core.embeddings.EmbeddingSet`
+    #: matrix; subscript writes through these names are what REP005 flags.
+    embedding_names: frozenset[str] = field(
+        default_factory=lambda: frozenset(
+            {"embeddings", "matrices", "user_vectors", "event_vectors"}
+        )
+    )
+
+    #: ``np.random`` attributes that are legitimate *constructors* of
+    #: generator machinery rather than draws from the global state.
+    rng_constructors: frozenset[str] = field(
+        default_factory=lambda: frozenset(
+            {
+                "Generator",
+                "SeedSequence",
+                "BitGenerator",
+                "PCG64",
+                "PCG64DXSM",
+                "Philox",
+                "SFC64",
+                "MT19937",
+            }
+        )
+    )
+
+    # ------------------------------------------------------------------
+    def _suffix_match(self, path: str, prefixes: tuple[str, ...]) -> bool:
+        p = _posix(path)
+        for prefix in prefixes:
+            if prefix.endswith("/"):
+                if f"/{prefix}" in f"/{p}":
+                    return True
+            elif p.endswith(prefix):
+                return True
+        return False
+
+    def is_test_file(self, path: str) -> bool:
+        """Test fixtures: anything under ``tests/`` or ``benchmarks/``."""
+        p = _posix(path)
+        parts = PurePosixPath(p).parts
+        if "tests" in parts or "benchmarks" in parts:
+            return True
+        name = PurePosixPath(p).name
+        return name.startswith("test_") or name == "conftest.py"
+
+    def is_hot_path(self, path: str) -> bool:
+        return self._suffix_match(path, self.hot_path_prefixes)
+
+    def is_typed_api(self, path: str) -> bool:
+        return not self.is_test_file(path) and self._suffix_match(
+            path, self.typed_api_prefixes
+        )
+
+    def may_mutate_embeddings(self, path: str) -> bool:
+        return self.is_test_file(path) or self._suffix_match(
+            path, self.embedding_mutators
+        )

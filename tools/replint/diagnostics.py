@@ -1,0 +1,69 @@
+"""Violation records and suppression-pragma parsing."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: ``# replint: allow-loop(<reason>)`` — REP002-specific, reason required.
+_ALLOW_LOOP = re.compile(r"#\s*replint:\s*allow-loop\(\s*(?P<reason>[^)]*?)\s*\)")
+
+#: ``# replint: allow(REPNNN)[: reason]`` — generic per-line suppression.
+_ALLOW = re.compile(r"#\s*replint:\s*allow\(\s*(?P<code>REP\d{3})\s*\)")
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """Per-file pragma index: which codes are waived on which lines."""
+
+    #: line number -> set of suppressed rule codes on that line.
+    by_line: dict[int, frozenset[str]]
+    #: lines carrying an ``allow-loop`` pragma with an *empty* reason —
+    #: reported as malformed rather than honoured.
+    empty_reasons: tuple[int, ...]
+
+    def allows(self, line: int, code: str) -> bool:
+        """True if ``code`` is waived on ``line`` or the line above.
+
+        Checking the preceding line lets a pragma sit on its own line
+        above a long statement, decorator-style.
+        """
+        for candidate in (line, line - 1):
+            if code in self.by_line.get(candidate, frozenset()):
+                return True
+        return False
+
+
+def scan_pragmas(source: str) -> Suppressions:
+    """Extract replint pragmas from ``source`` (1-based line numbers)."""
+    by_line: dict[int, set[str]] = {}
+    empty: list[int] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "replint" not in text:
+            continue
+        loop = _ALLOW_LOOP.search(text)
+        if loop is not None:
+            if loop.group("reason"):
+                by_line.setdefault(lineno, set()).add("REP002")
+            else:
+                empty.append(lineno)
+        for match in _ALLOW.finditer(text):
+            by_line.setdefault(lineno, set()).add(match.group("code"))
+    return Suppressions(
+        by_line={k: frozenset(v) for k, v in by_line.items()},
+        empty_reasons=tuple(empty),
+    )

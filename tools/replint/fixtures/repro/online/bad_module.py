@@ -1,0 +1,31 @@
+"""Seeded violation fixture for replint's self-check.
+
+This file is *meant to be wrong*: it contains at least one violation of
+every rule REP001-REP005, and the CI pipeline (plus tests/test_replint.py)
+asserts that ``python -m replint`` exits non-zero on it.  The directory
+layout (``.../repro/online/...``) makes the path-suffix scoping classify
+it as a hot-path, typed-API production module.  It is never imported.
+"""
+
+import numpy as np
+
+
+def draw_noise(size):  # REP003: no annotations
+    return np.random.rand(size)  # REP001: global random state
+
+
+def unseeded_generator():  # REP003
+    return np.random.default_rng()  # REP001: unseeded
+
+
+def slow_scores(points, q):  # REP003
+    scores = []
+    for p in points:  # REP002: hot-path loop, no pragma
+        scores.append(p @ q)
+    return np.asarray(scores)  # REP004: no dtype
+
+
+def clobber(embeddings, idx):  # REP003
+    embeddings[idx] = 0.0  # REP005: mutation outside trainer/fold_in
+    np.add(embeddings, 1.0, out=embeddings)  # REP005: out= write
+    return np.array(idx)  # REP004

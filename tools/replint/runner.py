@@ -1,0 +1,185 @@
+"""File discovery, rule execution and reporting for replint."""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from replint.config import LintConfig
+from replint.diagnostics import Suppressions, Violation, scan_pragmas
+from replint.rules import ALL_RULES, RULE_CODES
+
+
+def _select_rules(select: Sequence[str] | None) -> tuple:
+    if select is None:
+        return ALL_RULES
+    unknown = sorted(set(select) - set(RULE_CODES))
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s) {unknown}; available: {list(RULE_CODES)}"
+        )
+    return tuple(rule for rule in ALL_RULES if rule.code in select)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    config: LintConfig | None = None,
+    select: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Lint a source string as if it lived at ``path``.
+
+    ``path`` drives rule scoping (hot-path, typed-API, test-fixture
+    classification), which is what the rule unit tests exercise.
+    """
+    config = config or LintConfig()
+    rules = _select_rules(select)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code="REP000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    pragmas = scan_pragmas(source)
+    violations = [
+        v
+        for rule in rules
+        if rule.applies(path, config)
+        for v in rule.check(tree, path, config)
+        if not pragmas.allows(v.line, v.code)
+    ]
+    # Test files are exempt from every rule, so pragma hygiene is not
+    # enforced there either (their pragmas are inert; pragma-looking
+    # text also appears inside the linter's own test snippets).
+    if not config.is_test_file(path):
+        violations.extend(_malformed_pragmas(pragmas, path))
+    return sorted(violations)
+
+
+def _malformed_pragmas(pragmas: Suppressions, path: str) -> list[Violation]:
+    return [
+        Violation(
+            path=path,
+            line=line,
+            col=0,
+            code="REP002",
+            message=(
+                "allow-loop pragma requires a reason: "
+                "'# replint: allow-loop(<reason>)'"
+            ),
+        )
+        for line in pragmas.empty_reasons
+    ]
+
+
+def lint_file(
+    path: "str | Path",
+    *,
+    config: LintConfig | None = None,
+    select: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Lint one file on disk."""
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Violation(
+                path=str(path),
+                line=1,
+                col=0,
+                code="REP000",
+                message=f"cannot read file: {exc}",
+            )
+        ]
+    return lint_source(source, str(path), config=config, select=select)
+
+
+def _discover(paths: Iterable["str | Path"]) -> list[Path]:
+    files: list[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py" or p.is_file():
+            files.append(p)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {entry}")
+    return files
+
+
+def lint_paths(
+    paths: Iterable["str | Path"],
+    *,
+    config: LintConfig | None = None,
+    select: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Lint files and directory trees; directories are walked for
+    ``*.py`` files."""
+    violations: list[Violation] = []
+    for file in _discover(paths):
+        violations.extend(lint_file(file, config=config, select=select))
+    return sorted(violations)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="replint",
+        description=(
+            "Project-specific invariant linter for the GEM reproduction "
+            "(rules REP001-REP005; see tools/replint/__init__.py)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rules and exit"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the summary line (violations still print)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    try:
+        violations = lint_paths(args.paths, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"replint: error: {exc}", file=sys.stderr)
+        return 2
+
+    for violation in violations:
+        print(violation.render())
+    if not args.quiet:
+        n_files = len(_discover(args.paths))
+        status = "ok" if not violations else "FAILED"
+        print(
+            f"replint: {n_files} files checked, "
+            f"{len(violations)} violation(s) -- {status}",
+            file=sys.stderr,
+        )
+    return 1 if violations else 0
