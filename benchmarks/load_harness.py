@@ -1,0 +1,341 @@
+"""Closed/open-loop load harness for the deadline-aware serving path.
+
+Drives a :class:`repro.serving.ServingEngine` with concurrent,
+deadline-scoped traffic and emits ``BENCH_serving_load.json`` — the
+latency-percentile trajectory (p50/p95/p99 overall and per degradation
+rung), shed counters, and the zero-silent-drop accounting check
+(``submitted == answered + shed``, always).
+
+Two generator modes:
+
+* **closed loop** (default): ``--workers`` threads each issue the next
+  request the moment the previous one completes — throughput-bound,
+  measures the engine's service capacity.
+* **open loop** (``--mode open --rate HZ``): requests arrive on a fixed
+  schedule regardless of completions, queue behind a bounded
+  :class:`~repro.serving.lifecycle.AdmissionController`, and shed with
+  reason ``queue_full`` when it saturates — latency-under-overload, the
+  regime the degradation ladder exists for.
+
+A warmup phase (excluded from all reported stats) trains the
+:class:`~repro.serving.lifecycle.LadderPolicy` EWMA estimates, so the
+measured phase shows the *steady-state* routing decision, not the
+one-time discovery cost of a stalled rung.
+
+Fault injection: ``--faults "backend.query:delay=0.05"`` installs a
+:class:`~repro.serving.faults.FaultPlan` (same grammar as the
+``REPRO_FAULTS`` environment variable) before traffic starts.  The CI
+smoke in scripts/check.sh runs exactly that scenario and asserts p99
+within budget and zero silent drops on the tiny synthetic preset::
+
+    PYTHONPATH=src:. python benchmarks/load_harness.py \
+        --faults "backend.query:delay=0.05" \
+        --assert-p99-within-budget --assert-no-silent-drops
+
+See docs/OPERATIONS.md for how to read the output and size deadlines,
+queue depth and workers from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.serving import (
+    AdmissionController,
+    RequestContext,
+    RequestOutcome,
+    ServingEngine,
+    install,
+    parse_faults,
+)
+
+
+def build_engine(args: argparse.Namespace) -> ServingEngine:
+    """A warmed engine over a synthetic non-negative embedding model.
+
+    Synthetic on purpose: the harness measures the *serving substrate*
+    (ladder, queue, caches), which only needs realistic shapes, not a
+    trained model — and CI must not pay for GEM training in a smoke job.
+    """
+    rng = np.random.default_rng(args.seed)
+    user_vectors = np.abs(rng.normal(size=(args.users, args.dim)))
+    event_vectors = np.abs(rng.normal(size=(args.events, args.dim)))
+    engine = ServingEngine(
+        user_vectors,
+        event_vectors,
+        np.arange(args.events, dtype=np.int64),
+        backend=args.backend,
+        cache_size=args.cache_size,
+    )
+    engine.warm_ladder()
+    return engine
+
+
+def run_closed_loop(
+    engine: ServingEngine,
+    user_ids: np.ndarray,
+    *,
+    n: int,
+    budget_s: float,
+    workers: int,
+) -> list[RequestOutcome]:
+    """Each worker issues its next request as soon as the last returns."""
+    cursor = {"i": 0}
+    lock = threading.Lock()
+    outcomes: list[RequestOutcome] = []
+
+    def worker() -> list[RequestOutcome]:
+        mine: list[RequestOutcome] = []
+        while True:
+            with lock:
+                i = cursor["i"]
+                if i >= user_ids.size:
+                    return mine
+                cursor["i"] = i + 1
+            mine.append(
+                engine.recommend_within(
+                    int(user_ids[i]), n, budget_s=budget_s
+                )
+            )
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for chunk in pool.map(lambda _: worker(), range(workers)):
+            outcomes.extend(chunk)
+    return outcomes
+
+
+def run_open_loop(
+    engine: ServingEngine,
+    user_ids: np.ndarray,
+    *,
+    n: int,
+    budget_s: float,
+    workers: int,
+    rate_hz: float,
+    queue_depth: int,
+) -> list[RequestOutcome]:
+    """Fixed-rate arrivals behind a bounded admission queue.
+
+    Arrival pacing is independent of completions (the open-loop
+    property), so when service cannot keep up the admission controller
+    saturates and sheds with an explicit ``queue_full`` reason instead
+    of letting latency grow without bound.
+    """
+    controller = AdmissionController(queue_depth, metrics=engine.metrics)
+    interval = 1.0 / rate_hz
+    outcomes: list[RequestOutcome | None] = [None] * user_ids.size
+
+    def serve(i: int, user: int, ctx: RequestContext) -> None:
+        try:
+            ctx.mark_dequeued()
+            outcomes[i] = engine.recommend_within(user, n, ctx=ctx)
+        finally:
+            controller.release()
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        t0 = time.perf_counter()
+        for i, user in enumerate(user_ids.tolist()):
+            target = t0 + i * interval
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            if not controller.try_admit():
+                outcomes[i] = RequestOutcome(
+                    user=user, n=n, answered=False, shed_reason="queue_full"
+                )
+                continue
+            pool.submit(serve, i, user, RequestContext.with_budget(budget_s))
+    done = [o for o in outcomes if o is not None]
+    assert len(done) == user_ids.size, "lost outcomes — silent drop bug"
+    return done
+
+
+def summarise(
+    engine: ServingEngine,
+    outcomes: list[RequestOutcome],
+    *,
+    budget_s: float,
+    args: argparse.Namespace,
+    wall_s: float,
+) -> dict:
+    """The BENCH_serving_load.json payload."""
+    answered = [o for o in outcomes if o.answered]
+    shed = [o for o in outcomes if not o.answered]
+    metrics = engine.metrics
+    overall = metrics.percentiles()
+    report = {
+        "bench": "serving_load",
+        "config": {
+            "mode": args.mode,
+            "backend": args.backend,
+            "users": args.users,
+            "events": args.events,
+            "dim": args.dim,
+            "requests": args.requests,
+            "warmup": args.warmup,
+            "budget_s": budget_s,
+            "workers": args.workers,
+            "rate_hz": args.rate if args.mode == "open" else None,
+            "queue_depth": args.queue_depth,
+            "faults": args.faults or None,
+            "seed": args.seed,
+        },
+        "wall_seconds": wall_s,
+        "throughput_rps": len(outcomes) / wall_s if wall_s > 0 else 0.0,
+        "submitted": len(outcomes),
+        "answered": len(answered),
+        "shed": len(shed),
+        "silent_drops": len(outcomes) - len(answered) - len(shed),
+        "shed_reasons": metrics.shed_counts(),
+        "deadline_miss_rate": (
+            sum(1 for o in answered if not o.stats.deadline_met)
+            / max(len(answered), 1)
+        ),
+        "latency_s": overall,
+        "per_rung": metrics.rung_summary(),
+        "rung_counts": {
+            rung: sum(1 for o in answered if o.rung == rung)
+            for rung in sorted({o.rung for o in answered if o.rung})
+        },
+        "ladder_estimates_s": engine.ladder.estimates(),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--mode", choices=("closed", "open"), default="closed")
+    parser.add_argument("--backend", default="ta")
+    parser.add_argument("--users", type=int, default=200)
+    parser.add_argument("--events", type=int, default=400)
+    parser.add_argument("--dim", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=400)
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=50,
+        help="ladder-training requests excluded from all reported stats",
+    )
+    parser.add_argument("--n", type=int, default=10)
+    parser.add_argument("--budget-ms", type=float, default=50.0)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--rate", type=float, default=200.0, help="open-loop arrivals/s"
+    )
+    parser.add_argument("--queue-depth", type=int, default=32)
+    parser.add_argument("--cache-size", type=int, default=0,
+                        help="result-cache entries (0 keeps every request live)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--faults",
+        default="",
+        help='fault plan, e.g. "backend.query:delay=0.05" (REPRO_FAULTS grammar)',
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_serving_load.json")
+    )
+    parser.add_argument(
+        "--assert-p99-within-budget",
+        action="store_true",
+        help="exit non-zero unless answered p99 latency <= the budget",
+    )
+    parser.add_argument(
+        "--assert-no-silent-drops",
+        action="store_true",
+        help="exit non-zero unless submitted == answered + shed",
+    )
+    args = parser.parse_args(argv)
+    budget_s = args.budget_ms / 1000.0
+
+    engine = build_engine(args)
+    if args.faults:
+        install(parse_faults(args.faults))
+
+    rng = np.random.default_rng(args.seed + 1)
+    warm_users = rng.integers(0, args.users, size=args.warmup)
+    load_users = rng.integers(0, args.users, size=args.requests)
+
+    # Warmup trains the LadderPolicy EWMAs (e.g. discovers a stalled full
+    # rung); its stats are wiped so the report shows steady state only.
+    for u in warm_users.tolist():
+        engine.recommend_within(int(u), args.n, budget_s=budget_s)
+    engine.metrics.reset()
+
+    t0 = time.perf_counter()
+    if args.mode == "closed":
+        outcomes = run_closed_loop(
+            engine,
+            load_users,
+            n=args.n,
+            budget_s=budget_s,
+            workers=args.workers,
+        )
+    else:
+        outcomes = run_open_loop(
+            engine,
+            load_users,
+            n=args.n,
+            budget_s=budget_s,
+            workers=args.workers,
+            rate_hz=args.rate,
+            queue_depth=args.queue_depth,
+        )
+    wall_s = time.perf_counter() - t0
+
+    report = summarise(
+        engine, outcomes, budget_s=budget_s, args=args, wall_s=wall_s
+    )
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    per_rung = ", ".join(
+        f"{rung}: n={s['count']} p50={s['p50'] * 1000:.1f}ms "
+        f"p99={s['p99'] * 1000:.1f}ms"
+        for rung, s in sorted(report["per_rung"].items())
+    )
+    print(
+        f"serving_load [{args.mode}] {report['submitted']} requests in "
+        f"{wall_s:.2f}s ({report['throughput_rps']:.0f} rps): "
+        f"answered {report['answered']}, shed {report['shed']} "
+        f"{report['shed_reasons']}, silent drops {report['silent_drops']}"
+    )
+    print(
+        f"  latency p50={report['latency_s']['p50'] * 1000:.1f}ms "
+        f"p95={report['latency_s']['p95'] * 1000:.1f}ms "
+        f"p99={report['latency_s']['p99'] * 1000:.1f}ms "
+        f"(budget {args.budget_ms:.0f}ms, deadline miss rate "
+        f"{report['deadline_miss_rate']:.1%})"
+    )
+    if per_rung:
+        print(f"  per rung: {per_rung}")
+    print(f"  wrote {args.out}")
+
+    failures = []
+    if args.assert_no_silent_drops and report["silent_drops"] != 0:
+        failures.append(f"silent drops: {report['silent_drops']}")
+    if (
+        args.assert_p99_within_budget
+        and report["answered"] > 0
+        and report["latency_s"]["p99"] > budget_s
+    ):
+        failures.append(
+            f"p99 {report['latency_s']['p99'] * 1000:.1f}ms exceeds "
+            f"budget {args.budget_ms:.0f}ms"
+        )
+    if failures:
+        print("FAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

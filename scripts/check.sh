@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
-# The pre-merge gate: ruff -> replint -> mypy -> tier-1 tests.
+# The pre-merge gate: ruff -> replint -> mypy -> tier-1 tests -> load smoke.
 #
 #   ./scripts/check.sh
 #
 # Stages:
 #   1. ruff    — general Python lint (E4/E7/E9/F + bugbear + numpy rules)
-#   2. replint — the project-specific invariant linter (REP001-REP005;
+#   2. replint — the project-specific invariant linter (REP001-REP006;
 #                see tools/replint/__init__.py).  Always runs: it is
 #                stdlib-only and lives in this repo.
 #   3. mypy    — the strict typing gate over src/repro (pyproject.toml)
 #   4. pytest  — the tier-1 suite from ROADMAP.md, with runtime
 #                shape/dtype contracts enabled
+#   5. load smoke — the serving load harness with injected 50 ms backend
+#                stalls on a tiny synthetic preset, asserting p99 within
+#                the deadline budget and zero silent drops
+#                (benchmarks/load_harness.py; see docs/OPERATIONS.md)
 #
 # ruff and mypy are skipped with a warning when not installed (minimal
 # containers); when present, any finding fails the gate.  Fails fast on
@@ -44,3 +48,9 @@ fi
 
 echo "== tier-1 tests =="
 REPRO_CONTRACTS=1 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
+
+echo "== serving load smoke =="
+PYTHONPATH=src:.${PYTHONPATH:+:$PYTHONPATH} python benchmarks/load_harness.py \
+    --requests 200 --warmup 40 \
+    --faults "backend.query:delay=0.05" \
+    --assert-p99-within-budget --assert-no-silent-drops

@@ -25,6 +25,7 @@ are skipped.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,13 +36,21 @@ from repro.online.transform import PairSpace, query_vector
 
 @dataclass(slots=True)
 class RetrievalResult:
-    """Top-n pairs plus the access statistics the efficiency study reports."""
+    """Top-n pairs plus the access statistics the efficiency study reports.
+
+    ``exact`` is ``True`` when the result is the provably exact top-n
+    over the indexed space (TA's stop condition reached, or a complete
+    scan).  A budget-capped TA query that ran out of time returns its
+    best-so-far with ``exact=False`` — the serving engine's degradation
+    ladder records this so approximate answers are never silent.
+    """
 
     pair_indices: np.ndarray  # indices into the PairSpace, best first
     scores: np.ndarray  # inner products, aligned with pair_indices
     n_examined: int  # distinct candidates fully scored
     n_sorted_accesses: int  # total sorted-access steps
     fraction_examined: float  # n_examined / n_candidates
+    exact: bool = True  # stop condition reached (vs budget early exit)
 
     def pairs(self, space: PairSpace) -> list[tuple[int, int, float]]:
         """Decode to ``(event_id, partner_id, score)`` triples."""
@@ -123,6 +132,7 @@ class ThresholdAlgorithmIndex:
         *,
         exclude_partner: int | None = None,
         chunk: int = 64,
+        budget_s: float | None = None,
     ) -> RetrievalResult:
         """Exact top-n retrieval for one user (Fagin's TA).
 
@@ -135,6 +145,7 @@ class ThresholdAlgorithmIndex:
             n,
             exclude_partner=exclude_partner,
             chunk=chunk,
+            budget_s=budget_s,
         )
 
     @check_shapes("(M,)", nonneg=["q"])
@@ -145,6 +156,7 @@ class ThresholdAlgorithmIndex:
         *,
         exclude_partner: int | None = None,
         chunk: int = 64,
+        budget_s: float | None = None,
     ) -> RetrievalResult:
         """Exact top-n retrieval for an already-extended query vector.
 
@@ -158,11 +170,21 @@ class ThresholdAlgorithmIndex:
 
         ``exclude_partner`` removes the querying user from the candidate
         partners (one cannot be one's own partner).
+
+        ``budget_s`` bounds the scan's wall-clock: the deadline is
+        checked once per round (every ``chunk`` sorted accesses), and on
+        expiry the best-so-far heap is returned immediately with
+        ``exact=False`` — the deadline-aware serving path's in-rung
+        early exit.  ``None`` (the default) preserves the exact
+        run-to-threshold behaviour.
         """
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
         if chunk < 1:
             raise ValueError(f"chunk must be >= 1, got {chunk}")
+        deadline = (
+            time.perf_counter() + budget_s if budget_s is not None else None
+        )
         space = self.space
         q = np.asarray(q, dtype=np.float64)
         if q.shape != (space.dim,):
@@ -221,11 +243,15 @@ class ThresholdAlgorithmIndex:
         seen = np.zeros(n_cand, dtype=bool)
         n_examined = 0
         n_sorted = 0
+        exact = True
 
         # replint: allow-loop(TA rounds are sequential; threshold depends on prior round)
         while True:
             threshold = float(contrib.sum())
             if len(heap) >= n and heap[0][0] >= threshold:
+                break
+            if deadline is not None and time.perf_counter() >= deadline:
+                exact = False
                 break
             t = int(np.argmax(contrib))
             if depths[t] >= n_cand:
@@ -268,4 +294,5 @@ class ThresholdAlgorithmIndex:
             n_examined=n_examined,
             n_sorted_accesses=n_sorted,
             fraction_examined=n_examined / n_cand,
+            exact=exact,
         )

@@ -8,6 +8,13 @@ backends, incremental refresh, batching, caching, and query telemetry:
 >>> recs = engine.recommend_batch([3, 14, 15], n=10)
 >>> engine.metrics.summary()["mean_seconds_total"]
 
+Deadline-aware serving rides on the same engine: ``recommend_within``
+serves one request under a budget via the degradation ladder
+(``full -> pruned -> truncated -> stale_cache``), and ``recommend_many``
+drives it concurrently behind a bounded admission queue with explicit
+load shedding — see :mod:`repro.serving.lifecycle`,
+:mod:`repro.serving.faults`, DESIGN.md §8 and docs/OPERATIONS.md.
+
 The legacy :class:`repro.online.EventPartnerRecommender` and
 ``repro.online.tasks`` APIs remain as thin facades over this engine.
 """
@@ -25,19 +32,55 @@ from repro.serving.engine import (
     Recommendation,
     ServingEngine,
 )
+from repro.serving.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    fault_point,
+    install,
+    parse_faults,
+    uninstall,
+)
+from repro.serving.lifecycle import (
+    RUNGS,
+    SHED_DEADLINE_EXPIRED,
+    SHED_QUEUE_FULL,
+    SHED_RUNGS_EXHAUSTED,
+    AdmissionController,
+    LadderPolicy,
+    RequestContext,
+    RequestOutcome,
+)
 from repro.serving.telemetry import BuildStats, MetricsRegistry, QueryStats
 
 __all__ = [
+    "AdmissionController",
     "BruteForceBackend",
     "BuildStats",
     "DEFAULT_PRUNED_FRACTION",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "LadderPolicy",
     "MetricsRegistry",
     "QueryStats",
+    "RUNGS",
     "Recommendation",
+    "RequestContext",
+    "RequestOutcome",
     "RetrievalBackend",
+    "SHED_DEADLINE_EXPIRED",
+    "SHED_QUEUE_FULL",
+    "SHED_RUNGS_EXHAUSTED",
     "ServingEngine",
     "ThresholdAlgorithmBackend",
+    "active_plan",
     "available_backends",
     "create_backend",
+    "fault_point",
+    "install",
+    "parse_faults",
     "register_backend",
+    "uninstall",
 ]

@@ -18,6 +18,17 @@ A backend's lifecycle::
 ``"ta-pruned"`` / ``"bruteforce-pruned"`` are the same retrieval
 algorithms but request the engine's per-partner top-k event pruning by
 default (Fig 7's operating point) when the caller did not choose a k.
+
+**Thread-safety:** ``build``/``extend`` are single-writer operations the
+engine serialises under its build lock; ``query``/``query_batch`` only
+*read* the built index (NumPy arrays that are never mutated after
+build), so any number of serving workers may query one backend
+concurrently — this is what ``ServingEngine.recommend_many`` relies on.
+
+**Deadline behaviour:** backends advertising ``supports_budget`` accept
+a ``budget_s`` keyword on ``query`` and return their best-so-far answer
+with ``exact=False`` when the budget expires mid-scan (TA does; brute
+force is a single matmul with no useful interruption point).
 """
 
 from __future__ import annotations
@@ -38,13 +49,19 @@ class RetrievalBackend(Protocol):
     ``query`` takes the *extended* query vector :math:`\\vec q_u =
     (\\vec u, \\vec u, 1)` — the engine owns the transformation — and
     returns a :class:`~repro.online.ta.RetrievalResult` carrying the
-    access statistics the telemetry layer records.
+    access statistics the telemetry layer records.  Queries on a built
+    backend are read-only and thread-safe; ``build`` is not, and must
+    not run concurrently with queries (the engine's build lock enforces
+    this).
     """
 
     name: str
     #: Whether the engine should apply per-partner top-k pruning when the
     #: caller did not specify a pruning level.
     prunes_by_default: bool
+    #: Whether ``query`` accepts a ``budget_s`` keyword for in-scan
+    #: deadline early exit (returning best-so-far with ``exact=False``).
+    supports_budget: bool
 
     def build(self, space: PairSpace) -> None:
         """Construct the index over a transformed pair space (offline)."""
@@ -53,7 +70,7 @@ class RetrievalBackend(Protocol):
     def query(
         self, q: np.ndarray, n: int, exclude: int | None = None
     ) -> RetrievalResult:
-        """Exact top-n for one extended query (online)."""
+        """Exact top-n for one extended query (online, thread-safe)."""
         ...
 
     def memory_bytes(self) -> int:
@@ -98,6 +115,7 @@ class _IndexBackend:
     """Shared plumbing: wrap one of the ``repro.online`` index classes."""
 
     prunes_by_default = False
+    supports_budget = False
     _not_built = "backend not built; call build(space) first"
 
     def __init__(self) -> None:
@@ -105,19 +123,26 @@ class _IndexBackend:
 
     @property
     def space(self) -> PairSpace:
+        """The indexed pair space (raises if not built)."""
         if self.index is None:
             raise RuntimeError(self._not_built)
         return self.index.space
 
     @property
     def n_candidates(self) -> int:
+        """Number of indexed candidate pairs (0 before build)."""
         return 0 if self.index is None else self.index.n_candidates
 
     def memory_bytes(self) -> int:
+        """Resident bytes of the built index (0 before build)."""
         return 0 if self.index is None else self.index.memory_bytes()
 
     def extend(self, space: PairSpace, n_old: int) -> None:
-        """Incrementally absorb the rows ``space.points[n_old:]``."""
+        """Incrementally absorb the rows ``space.points[n_old:]``.
+
+        Single-writer: must not run concurrently with queries (the
+        engine holds its build lock around this).
+        """
         if self.index is None:
             raise RuntimeError(self._not_built)
         self.index.extend(space, n_old)
@@ -125,6 +150,7 @@ class _IndexBackend:
     def query(
         self, q: np.ndarray, n: int, exclude: int | None = None
     ) -> RetrievalResult:
+        """Exact top-n for one extended query (read-only, thread-safe)."""
         if self.index is None:
             raise RuntimeError(self._not_built)
         return self.index.query_extended(q, n, exclude_partner=exclude)
@@ -135,6 +161,7 @@ class BruteForceBackend(_IndexBackend):
     """Full-scan retrieval (GEM-BF); supports one-matmul batch queries."""
 
     def build(self, space: PairSpace) -> None:
+        """Index ``space`` for full scans (no derived state to build)."""
         self.index = BruteForceIndex(space)
 
     def query_batch(
@@ -143,6 +170,10 @@ class BruteForceBackend(_IndexBackend):
         n: int,
         excludes: np.ndarray | None = None,
     ) -> list[RetrievalResult]:
+        """Answer a whole query batch with one candidate-matrix product.
+
+        Read-only on the built index and thread-safe, like ``query``.
+        """
         if self.index is None:
             raise RuntimeError(self._not_built)
         return self.index.query_extended_batch(
@@ -152,22 +183,40 @@ class BruteForceBackend(_IndexBackend):
 
 @register_backend("ta")
 class ThresholdAlgorithmBackend(_IndexBackend):
-    """Fagin's TA over per-dimension sorted lists (GEM-TA)."""
+    """Fagin's TA over per-dimension sorted lists (GEM-TA).
+
+    Advertises ``supports_budget``: a ``budget_s``-capped query checks
+    the deadline once per scan round and returns best-so-far with
+    ``exact=False`` on expiry (see
+    :meth:`repro.online.ta.ThresholdAlgorithmIndex.query_extended`).
+    """
+
+    supports_budget = True
 
     def __init__(self, chunk: int = 64) -> None:
         super().__init__()
         self.chunk = chunk
 
     def build(self, space: PairSpace) -> None:
+        """Build the per-dimension sorted access lists over ``space``."""
         self.index = ThresholdAlgorithmIndex(space)
 
     def query(
-        self, q: np.ndarray, n: int, exclude: int | None = None
+        self,
+        q: np.ndarray,
+        n: int,
+        exclude: int | None = None,
+        budget_s: float | None = None,
     ) -> RetrievalResult:
+        """Top-n via TA; exact unless ``budget_s`` expires mid-scan."""
         if self.index is None:
             raise RuntimeError(self._not_built)
         return self.index.query_extended(
-            q, n, exclude_partner=exclude, chunk=self.chunk
+            q,
+            n,
+            exclude_partner=exclude,
+            chunk=self.chunk,
+            budget_s=budget_s,
         )
 
 

@@ -20,24 +20,52 @@ facade over this class) the engine adds:
   batch with one pass over the candidate matrix;
 * **caching + telemetry** — an LRU result cache keyed on
   ``(version, user, n)`` and per-query :class:`QueryStats` records in a
-  :class:`MetricsRegistry`.
+  :class:`MetricsRegistry`;
+* **deadline-aware serving** — :meth:`recommend_within` serves one
+  request under a :class:`~repro.serving.lifecycle.RequestContext`
+  budget, stepping down the degradation ladder (``full -> pruned ->
+  truncated -> stale_cache``) as the budget shrinks, and
+  :meth:`recommend_many` drives the engine from a thread pool behind a
+  bounded admission queue with explicit load shedding.
+
+**Thread-safety:** queries (``query``, ``recommend``,
+``recommend_batch``, ``recommend_within``, ``recommend_many``) may run
+concurrently from any number of threads — index reads are immutable
+NumPy arrays, and the result/stale caches and telemetry are
+lock-protected.  Maintenance (:meth:`warm`, :meth:`warm_ladder`,
+:meth:`rebuild`, :meth:`refresh`) is serialised on an internal build
+lock against *itself*, but is **not** linearisable with in-flight
+queries — quiesce traffic (or serve from a second engine) before
+refreshing in a multi-threaded deployment.  See DESIGN.md §8 and
+docs/OPERATIONS.md.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.online.pruning import build_pruned_pair_space
-from repro.online.ta import RetrievalResult
+from repro.online.ta import RetrievalResult, ThresholdAlgorithmIndex
 from repro.online.transform import (
     PairSpace,
     query_vector,
     transform_all_pairs,
 )
 from repro.serving.backends import RetrievalBackend, create_backend
+from repro.serving.faults import InjectedFault, fault_point
+from repro.serving.lifecycle import (
+    RUNGS,
+    AdmissionController,
+    LadderPolicy,
+    RequestContext,
+    RequestOutcome,
+    SHED_DEADLINE_EXPIRED,
+)
 from repro.serving.telemetry import (
     BuildStats,
     MetricsRegistry,
@@ -49,6 +77,15 @@ from repro.serving.telemetry import (
 #: not pick k: 5% of the candidate events, Fig 7's sweet spot (the
 #: approximation ratio is ≈1 from there on).
 DEFAULT_PRUNED_FRACTION = 0.05
+
+#: Initial throughput guess (rows/second) for sizing the truncated
+#: brute-force rung before any observation exists; replaced by an EWMA
+#: of measured scan throughput after the first truncated query.
+_TRUNC_INITIAL_ROWS_PER_S = 2_000_000.0
+
+#: Fraction of the remaining budget the truncated rung plans to spend
+#: scanning (the rest absorbs top-n selection and scheduling noise).
+_TRUNC_BUDGET_FRACTION = 0.5
 
 
 @dataclass(slots=True)
@@ -82,6 +119,13 @@ class ServingEngine:
     metrics:
         A shared :class:`MetricsRegistry`; a private one is created when
         omitted.
+    stale_cache_size:
+        Maximum entries in the stale-answer cache backing the
+        ``stale_cache`` degradation rung (0 disables it, turning
+        deadline-expired requests into sheds).
+    ladder:
+        A shared :class:`~repro.serving.lifecycle.LadderPolicy`; a
+        private one is created when omitted.
     """
 
     def __init__(
@@ -95,6 +139,8 @@ class ServingEngine:
         backend: str = "ta",
         cache_size: int = 256,
         metrics: MetricsRegistry | None = None,
+        stale_cache_size: int = 1024,
+        ladder: LadderPolicy | None = None,
     ) -> None:
         self.user_vectors = np.asarray(user_vectors, dtype=np.float64)
         self.event_vectors = np.asarray(event_vectors, dtype=np.float64)
@@ -110,16 +156,31 @@ class ServingEngine:
         )
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        if stale_cache_size < 0:
+            raise ValueError(
+                f"stale_cache_size must be >= 0, got {stale_cache_size}"
+            )
         self.backend_name = backend
         self._backend: RetrievalBackend = create_backend(backend)
         self.top_k_events = top_k_events
         self.cache_size = cache_size
+        self.stale_cache_size = stale_cache_size
         # `is not None` matters: an empty registry is falsy via __len__.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.ladder = ladder if ladder is not None else LadderPolicy()
         self.build_stats = BuildStats()
         self._version = 1
         self._space: PairSpace | None = None
         self._cache: OrderedDict[tuple, RetrievalResult] = OrderedDict()
+        # Stale-answer cache: (user, n) -> (version, result, space); kept
+        # across version bumps on purpose — it backs the stale_cache rung.
+        self._stale: OrderedDict[
+            tuple[int, int], tuple[int, RetrievalResult, PairSpace]
+        ] = OrderedDict()
+        self._pruned_index: ThresholdAlgorithmIndex | None = None
+        self._trunc_rows_per_s = _TRUNC_INITIAL_ROWS_PER_S
+        self._build_lock = threading.RLock()
+        self._cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # introspection
@@ -130,14 +191,17 @@ class ServingEngine:
 
     @property
     def n_users(self) -> int:
+        """Rows of the user embedding matrix (valid query user range)."""
         return int(self.user_vectors.shape[0])
 
     @property
     def n_events(self) -> int:
+        """Rows of the event embedding matrix."""
         return int(self.event_vectors.shape[0])
 
     @property
     def is_built(self) -> bool:
+        """Whether the primary index has been materialised yet."""
         return self._space is not None
 
     @property
@@ -155,6 +219,7 @@ class ServingEngine:
 
     @property
     def n_candidate_pairs(self) -> int:
+        """Candidate pairs in the primary index (builds it if needed)."""
         return self.space.n_pairs
 
     def memory_bytes(self) -> int:
@@ -162,7 +227,9 @@ class ServingEngine:
         return self._backend.memory_bytes()
 
     def cache_info(self) -> dict:
-        return {"size": len(self._cache), "max_size": self.cache_size}
+        """Result-cache occupancy: ``{"size": ..., "max_size": ...}``."""
+        with self._cache_lock:
+            return {"size": len(self._cache), "max_size": self.cache_size}
 
     # ------------------------------------------------------------------
     # offline: build / refresh
@@ -177,9 +244,52 @@ class ServingEngine:
         return None
 
     def warm(self) -> "ServingEngine":
-        """Build the index now (otherwise it happens on first query)."""
+        """Build the index now (otherwise it happens on first query).
+
+        Idempotent and safe to call from multiple threads (double-checked
+        under the build lock); only one thread performs the build.
+        """
         if self._space is None:
-            self._build()
+            with self._build_lock:
+                if self._space is None:
+                    self._build()
+        return self
+
+    def warm_ladder(self) -> "ServingEngine":
+        """Build every degradation rung now (primary + pruned sibling).
+
+        The ``pruned`` rung serves from a per-partner top-k pruned
+        sibling TA index; it is only eligible once this has been built
+        (a cold rung is skipped downward rather than paying its build
+        inside someone's deadline).  When the primary index is itself
+        pruned the sibling is redundant and skipped.  Call this before
+        opening deadline-scoped traffic; dropped (and rebuilt on the
+        next call) by :meth:`rebuild` / :meth:`refresh`.
+        """
+        self.warm()
+        with self._build_lock:
+            if self._pruned_index is None and self._effective_top_k() is None:
+                k = max(
+                    1,
+                    int(
+                        round(
+                            DEFAULT_PRUNED_FRACTION
+                            * self.candidate_events.size
+                        )
+                    ),
+                )
+                with _Timer() as t:
+                    space = build_pruned_pair_space(
+                        self.event_vectors[self.candidate_events],
+                        self.user_vectors[self.candidate_partners],
+                        k,
+                        event_ids=self.candidate_events,
+                        partner_ids=self.candidate_partners,
+                    )
+                    space.version = self._version
+                    self._pruned_index = ThresholdAlgorithmIndex(space)
+                self.build_stats.n_pairs_transformed += space.n_pairs
+                self.build_stats.seconds_building += t.seconds
         return self
 
     def _build(self) -> None:
@@ -187,6 +297,7 @@ class ServingEngine:
         pa = self.user_vectors[self.candidate_partners]
         k = self._effective_top_k()
         with _Timer() as t:
+            fault_point("backend.build")
             if k is not None:
                 space = build_pruned_pair_space(
                     ev,
@@ -210,10 +321,17 @@ class ServingEngine:
         self.build_stats.seconds_building += t.seconds
 
     def rebuild(self) -> None:
-        """Cold rebuild under a new version (reapplies pruning)."""
-        self._version += 1
-        self._cache.clear()
-        self._build()
+        """Cold rebuild under a new version (reapplies pruning).
+
+        Serialised on the build lock; not linearisable with in-flight
+        queries (see the class docstring).  Drops the pruned sibling —
+        re-warm with :meth:`warm_ladder`.
+        """
+        with self._build_lock:
+            self._version += 1
+            self._clear_result_cache()
+            self._pruned_index = None
+            self._build()
 
     def refresh(
         self,
@@ -233,9 +351,20 @@ class ServingEngine:
         pre-existing pair rows are not recomputed (pruned engines keep
         all pairs of a fresh event until the next :meth:`rebuild`, since
         cold-start events are exactly what the online system must not
-        prune away).  Bumps the served version and invalidates the cache.
-        Returns the number of events actually added.
+        prune away).  Bumps the served version, invalidates the result
+        cache (the stale-answer cache intentionally survives) and drops
+        the pruned sibling rung until the next :meth:`warm_ladder`.
+        Serialised on the build lock; not linearisable with in-flight
+        queries.  Returns the number of events actually added.
         """
+        with self._build_lock:
+            return self._refresh_locked(new_event_ids, new_event_vectors)
+
+    def _refresh_locked(
+        self,
+        new_event_ids: np.ndarray,
+        new_event_vectors: np.ndarray | None,
+    ) -> int:
         new_event_ids = np.atleast_1d(
             np.asarray(new_event_ids, dtype=np.int64)
         )
@@ -282,7 +411,8 @@ class ServingEngine:
             return 0
 
         self._version += 1
-        self._cache.clear()
+        self._clear_result_cache()
+        self._pruned_index = None
         if self._space is None:
             # Not built yet: the (lazy) first build will cover everything.
             self.candidate_events = np.concatenate(
@@ -333,25 +463,57 @@ class ServingEngine:
     def _record(self, stats: QueryStats) -> None:
         self.metrics.record(stats)
 
+    def _clear_result_cache(self) -> None:
+        with self._cache_lock:
+            self._cache.clear()
+
     def _cache_get(self, key: tuple) -> RetrievalResult | None:
         if self.cache_size == 0:
             return None
-        result = self._cache.get(key)
-        if result is not None:
-            self._cache.move_to_end(key)
-        return result
+        with self._cache_lock:
+            result = self._cache.get(key)
+            if result is not None:
+                self._cache.move_to_end(key)
+            return result
 
     def _cache_put(self, key: tuple, result: RetrievalResult) -> None:
         if self.cache_size == 0:
             return
-        self._cache[key] = result
-        self._cache.move_to_end(key)
-        # replint: allow-loop(LRU eviction pops at most one stale entry)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache[key] = result
+            self._cache.move_to_end(key)
+            # replint: allow-loop(LRU eviction pops at most one stale entry)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    def _stale_put(
+        self, user: int, n: int, result: RetrievalResult, space: PairSpace
+    ) -> None:
+        """Remember the freshest good answer for (user, n) across versions."""
+        if self.stale_cache_size == 0:
+            return
+        with self._cache_lock:
+            self._stale[(user, n)] = (self._version, result, space)
+            self._stale.move_to_end((user, n))
+            # replint: allow-loop(LRU eviction pops at most one stale entry)
+            while len(self._stale) > self.stale_cache_size:
+                self._stale.popitem(last=False)
+
+    def _stale_get(
+        self, user: int, n: int
+    ) -> tuple[int, RetrievalResult, PairSpace] | None:
+        with self._cache_lock:
+            entry = self._stale.get((user, n))
+            if entry is not None:
+                self._stale.move_to_end((user, n))
+            return entry
 
     def query(self, user: int, n: int) -> RetrievalResult:
-        """Raw retrieval result with access statistics."""
+        """Raw retrieval result with access statistics.
+
+        Thread-safe; no deadline — the configured backend runs to
+        completion (rung ``full`` in the recorded stats).
+        """
         user = self._validate_user(user)
         self.warm()
         key = (self._version, user, int(n))
@@ -364,9 +526,12 @@ class ServingEngine:
                 with _Timer() as tq:
                     q = query_vector(self.user_vectors[user])
                 with _Timer() as tr:
+                    fault_point("backend.query")
                     result = self._backend.query(q, n, exclude=user)
                 t_q, t_r = tq.seconds, tr.seconds
                 self._cache_put(key, result)
+                assert self._space is not None
+                self._stale_put(user, int(n), result, self._space)
         self._record(
             QueryStats(
                 user=user,
@@ -390,7 +555,7 @@ class ServingEngine:
         return result
 
     def recommend(self, user: int, n: int = 10) -> list[Recommendation]:
-        """Top-n event-partner recommendations for ``user``."""
+        """Top-n event-partner recommendations for ``user`` (no deadline)."""
         result = self.query(user, n)
         return self._decode(result)
 
@@ -403,7 +568,9 @@ class ServingEngine:
         concatenation, and backends exposing ``query_batch`` (brute
         force) answer the whole batch with a single candidate-matrix
         product.  Results are identical to calling :meth:`recommend` per
-        user.
+        user.  Thread-safe, but intended as a single caller's bulk path
+        — for concurrent deadline-scoped traffic use
+        :meth:`recommend_many`.
         """
         users = [
             self._validate_user(u)
@@ -434,6 +601,7 @@ class ServingEngine:
                         [uv, uv, np.ones((uv.shape[0], 1))], axis=1
                     )
                 with _Timer() as tr:
+                    fault_point("backend.batch")
                     if hasattr(self._backend, "query_batch"):
                         batch = self._backend.query_batch(
                             queries, n, excludes=miss_arr
@@ -449,6 +617,8 @@ class ServingEngine:
                     results[u] = result
                     hit_flags[u] = False
                     self._cache_put((self._version, u, n), result)
+                    assert self._space is not None
+                    self._stale_put(u, n, result, self._space)
         # Amortise the batch wall-clock evenly across the recorded queries.
         per_query = total.seconds / max(len(users), 1)
         per_q = t_q / max(len(misses), 1)
@@ -477,8 +647,318 @@ class ServingEngine:
         return [self._decode(results[u]) for u in users]
 
     # ------------------------------------------------------------------
+    # online: deadline-aware queries (the request lifecycle)
+    def _available_rungs(self) -> tuple[str, ...]:
+        """The ladder rungs this engine can serve right now, best first.
+
+        ``pruned`` requires its sibling index (see :meth:`warm_ladder`)
+        and is redundant when the primary index is already pruned;
+        ``stale_cache`` requires a non-zero stale cache — without one,
+        expired deadlines shed instead of serving stale.
+        """
+        rungs = ["full"]
+        if self._pruned_index is not None:
+            rungs.append("pruned")
+        rungs.append("truncated")
+        rungs.append("stale_cache")
+        return tuple(rungs)
+
+    def _run_full(
+        self, q: np.ndarray, user: int, n: int, remaining_s: float
+    ) -> RetrievalResult:
+        fault_point("backend.query")
+        if getattr(self._backend, "supports_budget", False):
+            return self._backend.query(  # type: ignore[call-arg]
+                q, n, exclude=user, budget_s=max(remaining_s, 1e-4)
+            )
+        return self._backend.query(q, n, exclude=user)
+
+    def _run_pruned(
+        self, q: np.ndarray, user: int, n: int, remaining_s: float
+    ) -> RetrievalResult:
+        fault_point("backend.pruned")
+        index = self._pruned_index
+        if index is None:
+            raise RuntimeError("pruned rung not warmed; call warm_ladder()")
+        return index.query_extended(
+            q, n, exclude_partner=user, budget_s=max(remaining_s, 1e-4)
+        )
+
+    def _run_truncated(
+        self, q: np.ndarray, user: int, n: int, remaining_s: float
+    ) -> RetrievalResult:
+        """Brute-force a budget-sized prefix of the candidate matrix.
+
+        The prefix length is planned from an EWMA of observed scan
+        throughput so the rung adapts to the hardware it runs on; the
+        answer is the exact top-n *of the scanned prefix* (``exact``
+        only when the prefix covered everything).
+        """
+        fault_point("backend.truncated")
+        space = self._space
+        assert space is not None
+        planned = int(
+            self._trunc_rows_per_s
+            * max(remaining_s, 1e-4)
+            * _TRUNC_BUDGET_FRACTION
+        )
+        m = max(min(space.n_pairs, planned), min(space.n_pairs, 8 * n))
+        with _Timer() as t:
+            scores = space.points[:m] @ q
+            scores = np.where(
+                space.partner_ids[:m] == user, -np.inf, scores
+            )
+            k = min(n, m)
+            top = np.argpartition(-scores, k - 1)[:k]
+            order = top[np.lexsort((top, -scores[top]))]
+            order = order[np.isfinite(scores[order])]
+        if t.seconds > 0:
+            observed = m / t.seconds
+            self._trunc_rows_per_s = (
+                0.3 * observed + 0.7 * self._trunc_rows_per_s
+            )
+        return RetrievalResult(
+            pair_indices=order.astype(np.int64),
+            scores=scores[order].astype(np.float64),
+            n_examined=m,
+            n_sorted_accesses=0,
+            fraction_examined=m / space.n_pairs,
+            exact=m == space.n_pairs,
+        )
+
+    def _serve_stale(
+        self, user: int, n: int, ctx: RequestContext
+    ) -> RequestOutcome:
+        """Terminal rung: replay the last good answer, or shed."""
+        entry = self._stale_get(user, n)
+        if entry is None:
+            self.metrics.record_shed(SHED_DEADLINE_EXPIRED)
+            return RequestOutcome(
+                user=user,
+                n=n,
+                answered=False,
+                shed_reason=SHED_DEADLINE_EXPIRED,
+            )
+        version, result, space = entry
+        assert self._space is not None
+        stats = QueryStats(
+            user=user,
+            n=n,
+            backend=self.backend_name,
+            version=version,
+            n_candidates=self._space.n_pairs,
+            n_examined=0,
+            n_sorted_accesses=0,
+            fraction_examined=0.0,
+            seconds_total=ctx.elapsed(),
+            cache_hit=True,
+            rung="stale_cache",
+            deadline_budget_s=ctx.budget_s,
+            deadline_remaining_s=ctx.remaining(),
+            deadline_met=not ctx.expired(),
+            queue_wait_s=ctx.queue_wait_s,
+            exact=False,
+            stale=True,
+        )
+        self._record(stats)
+        return RequestOutcome(
+            user=user,
+            n=n,
+            answered=True,
+            recommendations=self._decode_from(result, space),
+            stats=stats,
+        )
+
+    def recommend_within(
+        self,
+        user: int,
+        n: int = 10,
+        *,
+        budget_s: float | None = None,
+        ctx: RequestContext | None = None,
+    ) -> RequestOutcome:
+        """Serve one request under a deadline budget via the ladder.
+
+        Exactly one of ``budget_s`` (a fresh budget starting now) or
+        ``ctx`` (an admission-time context whose budget is already
+        draining) must be given.  The engine selects the highest
+        degradation rung predicted to fit the remaining budget, steps
+        down on rung failure (e.g. injected faults) or overrun, and
+        always returns an explicit :class:`RequestOutcome` — an answer
+        with the serving rung recorded in its stats, or a shed with a
+        reason.  Thread-safe.
+        """
+        if (budget_s is None) == (ctx is None):
+            raise ValueError("pass exactly one of budget_s or ctx")
+        if ctx is None:
+            assert budget_s is not None
+            ctx = RequestContext.with_budget(budget_s)
+        user = self._validate_user(user)
+        n = int(n)
+        self.warm()
+        assert self._space is not None
+
+        # A version-current cached result is a free exact answer.
+        cached = self._cache_get((self._version, user, n))
+        if cached is not None:
+            stats = QueryStats(
+                user=user,
+                n=n,
+                backend=self.backend_name,
+                version=self._version,
+                n_candidates=self._space.n_pairs,
+                n_examined=0,
+                n_sorted_accesses=0,
+                fraction_examined=0.0,
+                seconds_total=ctx.elapsed(),
+                cache_hit=True,
+                rung="full",
+                deadline_budget_s=ctx.budget_s,
+                deadline_remaining_s=ctx.remaining(),
+                deadline_met=not ctx.expired(),
+                queue_wait_s=ctx.queue_wait_s,
+                exact=True,
+            )
+            self._record(stats)
+            return RequestOutcome(
+                user=user,
+                n=n,
+                answered=True,
+                recommendations=self._decode(cached),
+                stats=stats,
+            )
+
+        available = self._available_rungs()
+        first = self.ladder.select(ctx.remaining(), available=available)
+        runners = {
+            "full": self._run_full,
+            "pruned": self._run_pruned,
+            "truncated": self._run_truncated,
+        }
+        q = query_vector(self.user_vectors[user])
+        # replint: allow-loop(<= 4 ladder rungs per request, not candidates)
+        for rung in available[available.index(first):]:
+            if rung == "stale_cache":
+                return self._serve_stale(user, n, ctx)
+            try:
+                with _Timer() as t:
+                    result = runners[rung](q, user, n, ctx.remaining())
+            except (InjectedFault, RuntimeError):
+                continue  # rung failed: step down
+            self.ladder.observe(rung, t.seconds)
+            if result.pair_indices.size == 0 and not result.exact:
+                continue  # budget ran out before anything was scored
+            serving_space = (
+                self._pruned_index.space
+                if rung == "pruned" and self._pruned_index is not None
+                else self._space
+            )
+            exact = result.exact and rung == "full"
+            if exact:
+                self._cache_put((self._version, user, n), result)
+            self._stale_put(user, n, result, serving_space)
+            stats = QueryStats(
+                user=user,
+                n=n,
+                backend=self.backend_name,
+                version=self._version,
+                n_candidates=self._space.n_pairs,
+                n_examined=result.n_examined,
+                n_sorted_accesses=result.n_sorted_accesses,
+                fraction_examined=result.fraction_examined,
+                seconds_total=ctx.elapsed(),
+                seconds_retrieval=t.seconds,
+                rung=rung,
+                deadline_budget_s=ctx.budget_s,
+                deadline_remaining_s=ctx.remaining(),
+                deadline_met=not ctx.expired(),
+                queue_wait_s=ctx.queue_wait_s,
+                exact=exact,
+                stale=False,
+            )
+            self._record(stats)
+            return RequestOutcome(
+                user=user,
+                n=n,
+                answered=True,
+                recommendations=self._decode_from(result, serving_space),
+                stats=stats,
+            )
+        return self._serve_stale(user, n, ctx)
+
+    def recommend_many(
+        self,
+        users: np.ndarray,
+        n: int = 10,
+        *,
+        budget_s: float = 0.05,
+        workers: int = 4,
+        queue_depth: int | None = None,
+    ) -> list[RequestOutcome]:
+        """Serve many deadline-scoped requests from a thread pool.
+
+        Each request gets its own :class:`RequestContext` whose budget
+        starts at *submission* — time spent waiting for a worker drains
+        it, so an overloaded pool degrades (and ultimately sheds)
+        instead of silently answering late.  ``queue_depth`` bounds
+        admitted-but-unfinished requests; beyond it, requests are shed
+        immediately with reason ``queue_full`` (``None`` = unbounded, no
+        admission shedding).  Returns one :class:`RequestOutcome` per
+        input user, in input order — zero silent drops, by construction.
+        Thread-safe; the pool is private to this call.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        user_list = [
+            self._validate_user(u)
+            for u in np.atleast_1d(np.asarray(users, dtype=np.int64))
+        ]
+        self.warm()
+        controller = (
+            AdmissionController(queue_depth, metrics=self.metrics)
+            if queue_depth is not None
+            else None
+        )
+        outcomes: list[RequestOutcome | None] = [None] * len(user_list)
+
+        def serve(
+            u: int, ctx: RequestContext, admitted: AdmissionController | None
+        ) -> RequestOutcome:
+            try:
+                ctx.mark_dequeued()
+                return self.recommend_within(u, n, ctx=ctx)
+            finally:
+                if admitted is not None:
+                    admitted.release()
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures: dict[Future[RequestOutcome], int] = {}
+            # replint: allow-loop(admission/submission per request, O(batch))
+            for i, u in enumerate(user_list):
+                if controller is not None and not controller.try_admit():
+                    outcomes[i] = RequestOutcome(
+                        user=u,
+                        n=int(n),
+                        answered=False,
+                        shed_reason="queue_full",
+                    )
+                    continue
+                ctx = RequestContext.with_budget(budget_s)
+                futures[pool.submit(serve, u, ctx, controller)] = i
+            # replint: allow-loop(future collection per request, O(batch))
+            for future, i in futures.items():
+                outcomes[i] = future.result()
+        return [o for o in outcomes if o is not None]
+
+    # ------------------------------------------------------------------
     def _decode(self, result: RetrievalResult) -> list[Recommendation]:
         space = self._space
+        assert space is not None
+        return self._decode_from(result, space)
+
+    def _decode_from(
+        self, result: RetrievalResult, space: PairSpace
+    ) -> list[Recommendation]:
         return [
             Recommendation(event=e, partner=p, score=s)
             for e, p, s in result.pairs(space)

@@ -1,0 +1,285 @@
+"""Request lifecycle for deadline-aware serving: budgets, ladder, shedding.
+
+The ROADMAP's target is a service answering heavy traffic, and the
+paper's whole Section IV (the 2K+1 transform, pruning, TA) exists to
+bound *online* latency — so overload behaviour must be engineered, not
+emergent.  This module gives every query an explicit lifecycle:
+
+1. **Admission** — a bounded-queue :class:`AdmissionController` either
+   admits a request (its deadline budget starts draining immediately,
+   queue wait included) or sheds it with an explicit reason.  Nothing is
+   ever dropped silently: every request ends as exactly one
+   :class:`RequestOutcome`, and sheds increment a named counter in the
+   :class:`~repro.serving.telemetry.MetricsRegistry`.
+2. **Rung selection** — a :class:`LadderPolicy` picks the highest rung
+   of the **degradation ladder** whose predicted latency fits the
+   remaining budget::
+
+       full  ->  pruned  ->  truncated  ->  stale_cache
+
+   ``full`` is the engine's configured backend at full fidelity (GEM-TA
+   by default — the paper's exact method); ``pruned`` answers from a
+   per-partner top-k pruned sibling index (Fig 7's operating point);
+   ``truncated`` brute-forces a budget-sized prefix of the candidate
+   matrix; ``stale_cache`` replays the last good answer for the user,
+   possibly from an older embedding version.  Which rung answered is
+   recorded in :class:`~repro.serving.telemetry.QueryStats`.
+3. **Step-down** — a rung that fails (e.g. an injected backend error,
+   see :mod:`repro.serving.faults`) or overruns its slice falls through
+   to the next rung down; ``stale_cache`` is terminal — a miss there is
+   a shed with reason :data:`SHED_DEADLINE_EXPIRED`.
+
+Prediction uses per-rung EWMA latency estimates with a safety factor, so
+after one slow observation the policy routes subsequent traffic around a
+stalled rung instead of burning every request's budget rediscovering it.
+
+**Thread-safety:** :class:`RequestContext` instances are confined to one
+request.  :class:`LadderPolicy` and :class:`AdmissionController` are
+shared across workers and protect their mutable state with locks.  See
+DESIGN.md §8 for the full semantics and docs/OPERATIONS.md for tuning.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.serving.engine import Recommendation
+    from repro.serving.telemetry import MetricsRegistry, QueryStats
+
+__all__ = [
+    "AdmissionController",
+    "LadderPolicy",
+    "RequestContext",
+    "RequestOutcome",
+    "RUNGS",
+    "SHED_DEADLINE_EXPIRED",
+    "SHED_QUEUE_FULL",
+    "SHED_RUNGS_EXHAUSTED",
+]
+
+#: The degradation ladder, best rung first.  ``full`` = the engine's
+#: configured backend (GEM-TA by default), the paper-exact answer.
+RUNGS: tuple[str, ...] = ("full", "pruned", "truncated", "stale_cache")
+
+#: Shed reason: the bounded admission queue was at capacity.
+SHED_QUEUE_FULL = "queue_full"
+#: Shed reason: the deadline expired and no stale answer existed.
+SHED_DEADLINE_EXPIRED = "deadline_expired"
+#: Shed reason: every rung failed (faults) and no stale answer existed.
+SHED_RUNGS_EXHAUSTED = "rungs_exhausted"
+
+
+class RequestContext:
+    """Per-request deadline budget, measured on the monotonic clock.
+
+    Created at *admission* (arrival), so queue wait drains the budget —
+    a request that waited 40 ms of a 50 ms budget has 10 ms left for
+    retrieval, which is exactly the situation the degradation ladder is
+    for.  Not thread-safe and never shared: each request owns one
+    context, handed from the admission queue to the worker serving it.
+    """
+
+    __slots__ = ("budget_s", "start", "_queue_wait_s")
+
+    def __init__(self, budget_s: float, *, start: float | None = None) -> None:
+        if budget_s <= 0.0:
+            raise ValueError(f"budget_s must be > 0, got {budget_s}")
+        self.budget_s = float(budget_s)
+        self.start = time.perf_counter() if start is None else float(start)
+        self._queue_wait_s = 0.0
+
+    @classmethod
+    def with_budget(cls, budget_s: float) -> "RequestContext":
+        """A context whose budget starts draining now."""
+        return cls(budget_s)
+
+    def elapsed(self) -> float:
+        """Seconds since admission."""
+        return time.perf_counter() - self.start
+
+    def remaining(self) -> float:
+        """Budget seconds left (negative once the deadline has passed)."""
+        return self.budget_s - self.elapsed()
+
+    def expired(self) -> bool:
+        """Whether the deadline has passed."""
+        return self.remaining() <= 0.0
+
+    def mark_dequeued(self) -> float:
+        """Record that a worker picked the request up; returns the wait.
+
+        Called once by the serving worker; the wait is surfaced as
+        ``QueryStats.queue_wait_s``.
+        """
+        self._queue_wait_s = self.elapsed()
+        return self._queue_wait_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Seconds spent queued before a worker started serving."""
+        return self._queue_wait_s
+
+
+class LadderPolicy:
+    """Predictive rung selection over per-rung EWMA latency estimates.
+
+    ``select`` returns the highest rung whose estimated latency times
+    ``safety`` fits the remaining budget; unknown rungs (no observation
+    yet) are optimistically estimated at 0 so they get tried once and
+    learned.  ``observe`` folds a measured rung latency into the EWMA
+    (``alpha`` = weight of the newest sample).  All methods are
+    thread-safe; estimates converge within a few requests of a backend
+    slowing down, which is what routes steady-state traffic around a
+    stalled rung (the load harness demonstrates this with injected
+    50 ms stalls).
+    """
+
+    def __init__(self, *, safety: float = 1.5, alpha: float = 0.3) -> None:
+        if safety < 1.0:
+            raise ValueError(f"safety must be >= 1, got {safety}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.safety = float(safety)
+        self.alpha = float(alpha)
+        self._lock = threading.Lock()
+        self._estimate_s: dict[str, float] = {}
+
+    def estimate(self, rung: str) -> float:
+        """The current latency estimate for ``rung`` (0.0 = unobserved)."""
+        with self._lock:
+            return self._estimate_s.get(rung, 0.0)
+
+    def estimates(self) -> dict[str, float]:
+        """Snapshot of all rung latency estimates (seconds)."""
+        with self._lock:
+            return dict(self._estimate_s)
+
+    def observe(self, rung: str, seconds: float) -> None:
+        """Fold one measured rung latency into its EWMA estimate."""
+        with self._lock:
+            prior = self._estimate_s.get(rung)
+            if prior is None:
+                self._estimate_s[rung] = float(seconds)
+            else:
+                self._estimate_s[rung] = (
+                    self.alpha * float(seconds) + (1.0 - self.alpha) * prior
+                )
+
+    def select(
+        self, remaining_s: float, *, available: tuple[str, ...] = RUNGS
+    ) -> str:
+        """The highest available rung predicted to fit ``remaining_s``.
+
+        ``available`` lets the engine exclude rungs it cannot serve
+        (e.g. ``pruned`` before its sibling index is warmed).  The
+        terminal ``stale_cache`` rung is always eligible — it is the
+        deadline-miss fallback and costs a dictionary lookup.
+        """
+        # replint: allow-loop(<= 4 ladder rungs, not candidates)
+        for rung in available:
+            if rung == "stale_cache":
+                break
+            if remaining_s > 0.0 and (
+                self.estimate(rung) * self.safety <= remaining_s
+            ):
+                return rung
+        return "stale_cache"
+
+
+@dataclass(slots=True)
+class RequestOutcome:
+    """The single, explicit result of one lifecycle-managed request.
+
+    Exactly one of two shapes: **answered** (``answered=True``,
+    ``recommendations`` filled, ``stats`` carrying the rung that served
+    it) or **shed** (``answered=False``, ``shed_reason`` set).  The
+    "zero silent drops" property of ``recommend_many`` and the load
+    harness is: one outcome per submitted request, always.
+    """
+
+    user: int
+    n: int
+    answered: bool
+    recommendations: list["Recommendation"] = field(default_factory=list)
+    stats: "QueryStats | None" = None
+    shed_reason: str | None = None
+
+    @property
+    def rung(self) -> str | None:
+        """The degradation rung that answered (``None`` when shed)."""
+        return self.stats.rung if self.stats is not None else None
+
+
+class AdmissionController:
+    """Bounded-capacity admission with reject-with-reason semantics.
+
+    ``capacity`` bounds the number of requests admitted but not yet
+    finished (queued + in service).  ``try_admit`` never blocks: at
+    capacity it returns ``False`` and the caller sheds the request with
+    :data:`SHED_QUEUE_FULL` — backpressure is explicit, not an unbounded
+    queue silently growing.  Thread-safe; a shared
+    :class:`~repro.serving.telemetry.MetricsRegistry` may be attached so
+    sheds are counted centrally.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._n_admitted = 0
+        self._n_shed = 0
+
+    @property
+    def pending(self) -> int:
+        """Requests currently admitted but not yet released."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def n_admitted(self) -> int:
+        """Total requests ever admitted."""
+        with self._lock:
+            return self._n_admitted
+
+    @property
+    def n_shed(self) -> int:
+        """Total requests this controller refused at admission."""
+        with self._lock:
+            return self._n_shed
+
+    def try_admit(self) -> bool:
+        """Admit one request, or refuse without blocking.
+
+        On refusal the shed is counted here and (when attached) in the
+        metrics registry under :data:`SHED_QUEUE_FULL`.
+        """
+        with self._lock:
+            if self._pending >= self.capacity:
+                self._n_shed += 1
+                admitted = False
+            else:
+                self._pending += 1
+                self._n_admitted += 1
+                admitted = True
+        if not admitted and self.metrics is not None:
+            self.metrics.record_shed(SHED_QUEUE_FULL)
+        return admitted
+
+    def release(self) -> None:
+        """Mark one admitted request finished (answered *or* failed)."""
+        with self._lock:
+            if self._pending <= 0:
+                raise RuntimeError("release() without a matching admit")
+            self._pending -= 1

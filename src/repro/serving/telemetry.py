@@ -5,10 +5,19 @@ produces one :class:`QueryStats` record — the access counts the paper's
 efficiency study reports (pairs examined, sorted accesses) plus the
 wall-clock split into query-vector construction and index retrieval, the
 embedding version served, and whether the answer came from the result
-cache.  A :class:`MetricsRegistry` collects the records and aggregates
-them, so experiment runners (Table VI, Fig 7, the HeteRS latency bench)
-read their numbers from one instrumented source instead of hand-rolled
-``time.perf_counter`` loops.
+cache.  Deadline-scoped requests additionally record which **degradation
+rung** produced the answer (see :mod:`repro.serving.lifecycle`), how much
+of the deadline budget remained, and whether the answer was exact or
+stale.  Requests that were *not* answered — load shedding — are counted
+separately via :meth:`MetricsRegistry.record_shed`, so "zero silent
+drops" is an auditable property: every admitted request shows up either
+as a :class:`QueryStats` record or as a shed counter increment.
+
+A :class:`MetricsRegistry` collects the records and aggregates them, so
+experiment runners (Table VI, Fig 7, the HeteRS latency bench) and the
+load harness (``benchmarks/load_harness.py``) read their numbers from
+one instrumented source instead of hand-rolled ``time.perf_counter``
+loops.
 """
 
 from __future__ import annotations
@@ -20,7 +29,29 @@ from dataclasses import dataclass, fields
 
 @dataclass(slots=True)
 class QueryStats:
-    """Telemetry for a single served query."""
+    """Telemetry for a single served query.
+
+    Immutable value object; safe to share across threads once recorded.
+
+    The deadline fields are only meaningful for requests served through
+    the request-lifecycle path (``recommend_within`` /
+    ``recommend_many``):
+
+    * ``rung`` — which degradation rung answered (``"full"``,
+      ``"pruned"``, ``"truncated"`` or ``"stale_cache"``; plain
+      un-deadlined queries always record ``"full"``).
+    * ``deadline_budget_s`` — the per-request budget (0.0 = no deadline).
+    * ``deadline_remaining_s`` — budget left when the answer was ready
+      (negative = the deadline was missed).
+    * ``deadline_met`` — ``deadline_remaining_s >= 0`` at response time.
+    * ``queue_wait_s`` — time spent queued before a worker picked the
+      request up (the budget keeps draining while queued).
+    * ``exact`` — the answer is the exact top-n over the engine's full
+      candidate space (degraded rungs and budget-capped TA scans are
+      approximate).
+    * ``stale`` — the answer came from the stale-answer cache and may
+      reflect an older embedding version than ``version``.
+    """
 
     user: int
     n: int
@@ -35,6 +66,13 @@ class QueryStats:
     seconds_retrieval: float = 0.0
     cache_hit: bool = False
     batched: bool = False
+    rung: str = "full"
+    deadline_budget_s: float = 0.0
+    deadline_remaining_s: float = 0.0
+    deadline_met: bool = True
+    queue_wait_s: float = 0.0
+    exact: bool = True
+    stale: bool = False
 
     def as_dict(self) -> dict:
         """Plain-dict view (for logging / serialisation)."""
@@ -74,11 +112,24 @@ class _Timer:
         self.seconds = time.perf_counter() - self._start
 
 
+def _nearest_rank(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending list (q in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-int(q * len(sorted_values)) // 100))  # ceil
+    rank = min(rank, len(sorted_values))
+    return sorted_values[rank - 1]
+
+
 class MetricsRegistry:
     """Accumulates :class:`QueryStats` and answers aggregate questions.
 
-    Thread-safe for concurrent ``record`` calls (the engine may later be
-    driven from multiple workers); aggregation filters let one registry
+    **Thread-safety guarantee:** ``record``, ``record_shed``, ``reset``
+    and every reader take an internal lock, so any number of serving
+    workers may call them concurrently without losing records — the
+    exact property ``recommend_many`` relies on, and what the threaded
+    stress test in ``tests/test_serving.py`` verifies (N threads x M
+    records each, all N*M arrive).  Aggregation filters let one registry
     serve an experiment that interleaves backends and top-n values:
 
     >>> registry.summary(backend="ta", n=10)["mean_seconds_total"]
@@ -87,20 +138,46 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._records: list[QueryStats] = []
+        self._sheds: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def record(self, stats: QueryStats) -> None:
+        """Append one query record (thread-safe, lock-protected)."""
         with self._lock:
             self._records.append(stats)
 
+    def record_shed(self, reason: str) -> None:
+        """Count one load-shed request under its explicit ``reason``.
+
+        Thread-safe.  Reasons are free-form strings; the canonical ones
+        are in :mod:`repro.serving.lifecycle` (``SHED_QUEUE_FULL``,
+        ``SHED_DEADLINE_EXPIRED``, ``SHED_RUNGS_EXHAUSTED``).
+        """
+        with self._lock:
+            self._sheds[reason] = self._sheds.get(reason, 0) + 1
+
     def reset(self) -> None:
+        """Drop all records and shed counters (thread-safe)."""
         with self._lock:
             self._records.clear()
+            self._sheds.clear()
 
     @property
     def records(self) -> list[QueryStats]:
+        """A snapshot copy of the recorded queries (thread-safe)."""
         with self._lock:
             return list(self._records)
+
+    def shed_counts(self) -> dict[str, int]:
+        """Snapshot of shed counters: ``{reason: count}`` (thread-safe)."""
+        with self._lock:
+            return dict(self._sheds)
+
+    @property
+    def n_shed(self) -> int:
+        """Total requests shed across all reasons."""
+        with self._lock:
+            return sum(self._sheds.values())
 
     def __len__(self) -> int:
         with self._lock:
@@ -115,13 +192,58 @@ class MetricsRegistry:
             if all(getattr(r, k) == v for k, v in criteria.items())
         ]
 
+    def percentiles(
+        self,
+        qs: tuple[float, ...] = (50.0, 95.0, 99.0),
+        field: str = "seconds_total",
+        **criteria: object,
+    ) -> dict[str, float]:
+        """Nearest-rank percentiles of ``field`` over matching records.
+
+        Returns ``{"p50": ..., "p95": ..., "p99": ...}`` (keys follow
+        ``qs``); all zeros when nothing matches.  This is what the load
+        harness uses for its per-rung latency trajectory.
+        """
+        values = sorted(
+            float(getattr(r, field)) for r in self.select(**criteria)
+        )
+        return {
+            f"p{q:g}": _nearest_rank(values, float(q)) for q in qs
+        }
+
+    def rung_summary(self, **criteria: object) -> dict[str, dict]:
+        """Per-rung request counts and latency percentiles.
+
+        ``{rung: {"count": int, "p50": s, "p95": s, "p99": s}}`` over the
+        matching records — the degradation-ladder view an operator reads
+        first (see docs/OPERATIONS.md).
+        """
+        records = self.select(**criteria)
+        rungs = sorted({r.rung for r in records})
+        out: dict[str, dict] = {}
+        # replint: allow-loop(aggregation over <= 4 rung labels, not queries)
+        for rung in rungs:
+            values = sorted(
+                r.seconds_total for r in records if r.rung == rung
+            )
+            out[rung] = {
+                "count": len(values),
+                **{
+                    f"p{q:g}": _nearest_rank(values, q)
+                    for q in (50.0, 95.0, 99.0)
+                },
+            }
+        return out
+
     def summary(self, **criteria: object) -> dict:
         """Aggregate statistics over the matching records.
 
         Keys: ``n_queries``, ``n_cache_hits``, ``cache_hit_rate``,
         ``total_seconds``, ``mean_seconds_total``, ``mean_seconds_retrieval``,
         ``mean_fraction_examined``, ``mean_n_examined``,
-        ``total_n_examined``, ``total_sorted_accesses``.
+        ``total_n_examined``, ``total_sorted_accesses``, plus the
+        degradation view: ``n_degraded`` (answers from a rung below
+        ``full``), ``n_stale`` and ``n_deadline_missed``.
         """
         records = self.select(**criteria)
         n = len(records)
@@ -137,6 +259,9 @@ class MetricsRegistry:
                 "mean_n_examined": 0.0,
                 "total_n_examined": 0,
                 "total_sorted_accesses": 0,
+                "n_degraded": 0,
+                "n_stale": 0,
+                "n_deadline_missed": 0,
             }
         hits = sum(1 for r in records if r.cache_hit)
         return {
@@ -155,5 +280,10 @@ class MetricsRegistry:
             "total_n_examined": sum(r.n_examined for r in records),
             "total_sorted_accesses": sum(
                 r.n_sorted_accesses for r in records
+            ),
+            "n_degraded": sum(1 for r in records if r.rung != "full"),
+            "n_stale": sum(1 for r in records if r.stale),
+            "n_deadline_missed": sum(
+                1 for r in records if not r.deadline_met
             ),
         }

@@ -22,6 +22,7 @@ from replint.runner import main  # noqa: E402
 
 HOT_PATH = "src/repro/online/fake.py"
 CORE_PATH = "src/repro/core/fake.py"
+SERVING_PATH = "src/repro/serving/fake.py"
 OTHER_PATH = "src/repro/experiments/fake.py"
 TEST_PATH = "tests/test_fake.py"
 
@@ -258,6 +259,90 @@ class TestRep005:
 
 
 # ----------------------------------------------------------------------
+# REP006 — docstrings on the public serving surface
+# ----------------------------------------------------------------------
+class TestRep006:
+    MODULE_DOC = '"""Documented module."""\n'
+
+    def test_flags_missing_module_docstring(self):
+        src = "X = 1\n"
+        assert codes(src, SERVING_PATH, ["REP006"]) == ["REP006"]
+
+    def test_flags_undocumented_public_function(self):
+        src = self.MODULE_DOC + "def serve(x: int) -> int:\n    return x\n"
+        out = lint_source(src, SERVING_PATH, select=["REP006"])
+        assert [v.code for v in out] == ["REP006"]
+        assert "serve" in out[0].message
+
+    def test_flags_undocumented_class_and_method(self):
+        src = (
+            self.MODULE_DOC
+            + "class Engine:\n"
+            + "    def query(self, n: int) -> int:\n"
+            + "        return n\n"
+        )
+        out = lint_source(src, SERVING_PATH, select=["REP006"])
+        messages = [v.message for v in out]
+        assert len(out) == 2
+        assert any("Engine" in m and "class" in m for m in messages)
+        assert any("Engine.query" in m for m in messages)
+
+    def test_documented_symbols_are_clean(self):
+        src = (
+            self.MODULE_DOC
+            + "class Engine:\n"
+            + '    """Doc."""\n'
+            + "    def query(self, n: int) -> int:\n"
+            + '        """Doc."""\n'
+            + "        return n\n"
+            + "def serve(x: int) -> int:\n"
+            + '    """Doc."""\n'
+            + "    return x\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP006"]) == []
+
+    def test_private_and_dunder_symbols_are_exempt(self):
+        src = (
+            self.MODULE_DOC
+            + "class Engine:\n"
+            + '    """Doc."""\n'
+            + "    def __init__(self) -> None:\n"
+            + "        pass\n"
+            + "    def _internal(self) -> None:\n"
+            + "        pass\n"
+            + "def _helper() -> None:\n"
+            + "    pass\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP006"]) == []
+
+    def test_private_class_members_are_exempt(self):
+        src = (
+            self.MODULE_DOC
+            + "class _Hidden:\n"
+            + "    def anything(self) -> None:\n"
+            + "        pass\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP006"]) == []
+
+    def test_not_applied_outside_serving(self):
+        src = "def f() -> None:\n    pass\n"
+        assert codes(src, CORE_PATH, ["REP006"]) == []
+        assert codes(src, OTHER_PATH, ["REP006"]) == []
+
+    def test_serving_test_files_are_exempt(self):
+        src = "def test_f() -> None:\n    pass\n"
+        assert codes(src, "tests/serving/test_fake.py", ["REP006"]) == []
+
+    def test_allow_pragma_suppresses(self):
+        src = (
+            self.MODULE_DOC
+            + "def serve(x: int) -> int:  # replint: allow(REP006)\n"
+            + "    return x\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP006"]) == []
+
+
+# ----------------------------------------------------------------------
 # Runner / CLI
 # ----------------------------------------------------------------------
 class TestRunner:
@@ -269,8 +354,15 @@ class TestRunner:
         with pytest.raises(ValueError, match="unknown rule"):
             lint_source("x = 1\n", OTHER_PATH, select=["REP999"])
 
-    def test_rule_codes_are_the_documented_five(self):
-        assert RULE_CODES == ("REP001", "REP002", "REP003", "REP004", "REP005")
+    def test_rule_codes_are_the_documented_six(self):
+        assert RULE_CODES == (
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+        )
 
     def test_repo_src_is_clean(self):
         assert lint_paths([str(REPO_ROOT / "src")]) == []
@@ -279,12 +371,9 @@ class TestRunner:
         assert main([str(REPO_ROOT / "src" / "repro" / "contracts.py")]) == 0
         assert "ok" in capsys.readouterr().err
 
-    def test_cli_flags_violation_fixture(self, capsys):
-        fixture = (
-            REPO_ROOT
-            / "tools/replint/fixtures/repro/online/bad_module.py"
-        )
-        assert main([str(fixture)]) == 1
+    def test_cli_flags_violation_fixtures(self, capsys):
+        fixtures = REPO_ROOT / "tools/replint/fixtures"
+        assert main([str(fixtures)]) == 1
         captured = capsys.readouterr()
         for code in RULE_CODES:
             assert code in captured.out, f"{code} missing from fixture output"

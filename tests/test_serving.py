@@ -299,3 +299,82 @@ class TestTelemetry:
         ] == pytest.approx(1.0)
         metrics.reset()
         assert len(metrics) == 0
+
+    def test_concurrent_record_loses_nothing(self):
+        # The class docstring guarantees lock-protected concurrent
+        # record()/record_shed(); this is the threaded stress test that
+        # guarantee points at.  N threads x M records each, plus
+        # concurrent readers: every record and shed must survive.
+        import threading
+
+        from repro.serving.telemetry import QueryStats
+
+        metrics = MetricsRegistry()
+        n_threads, per_thread = 8, 250
+        start = threading.Barrier(n_threads + 1)
+
+        def writer(tid):
+            start.wait()
+            for i in range(per_thread):
+                metrics.record(
+                    QueryStats(
+                        user=tid,
+                        n=5,
+                        backend="ta",
+                        version=1,
+                        n_candidates=100,
+                        n_examined=i,
+                        n_sorted_accesses=i,
+                        fraction_examined=0.1,
+                        seconds_total=0.001 * (tid + 1),
+                        rung="full" if i % 2 else "pruned",
+                    )
+                )
+                if i % 10 == 0:
+                    metrics.record_shed("queue_full")
+
+        threads = [
+            threading.Thread(target=writer, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        start.wait()
+        # Concurrent readers must see consistent snapshots, not crash.
+        for _ in range(50):
+            metrics.summary()
+            metrics.shed_counts()
+        for t in threads:
+            t.join()
+
+        assert len(metrics) == n_threads * per_thread
+        assert metrics.n_shed == n_threads * (per_thread // 10)
+        assert metrics.shed_counts() == {"queue_full": metrics.n_shed}
+        per_user = [metrics.summary(user=t)["n_queries"] for t in range(n_threads)]
+        assert per_user == [per_thread] * n_threads
+        rungs = metrics.rung_summary()
+        assert rungs["full"]["count"] + rungs["pruned"]["count"] == len(metrics)
+
+    def test_percentiles_nearest_rank(self):
+        from repro.serving.telemetry import QueryStats
+
+        metrics = MetricsRegistry()
+        for i in range(1, 101):
+            metrics.record(
+                QueryStats(
+                    user=0,
+                    n=1,
+                    backend="ta",
+                    version=1,
+                    n_candidates=1,
+                    n_examined=1,
+                    n_sorted_accesses=0,
+                    fraction_examined=1.0,
+                    seconds_total=i / 1000.0,
+                )
+            )
+        p = metrics.percentiles()
+        assert p["p50"] == pytest.approx(0.050)
+        assert p["p95"] == pytest.approx(0.095)
+        assert p["p99"] == pytest.approx(0.099)
+        assert metrics.percentiles(qs=(100.0,))["p100"] == pytest.approx(0.1)

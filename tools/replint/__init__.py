@@ -30,6 +30,11 @@ REP005    Embedding matrices (reached through ``EmbeddingSet`` accessors:
           place inside ``core/trainer.py`` and ``core/fold_in.py`` —
           guarding the non-negative projection and the Hogwild write
           discipline.
+REP006    Public symbols in ``repro/serving`` (the module itself, public
+          classes, public functions and methods) must carry docstrings —
+          the serving layer is an operational surface whose contracts
+          (thread-safety, deadline behaviour) live in its docstrings
+          (see DESIGN.md §8 and docs/OPERATIONS.md).
 ========  ==============================================================
 
 Suppression pragmas (same line as the statement, or the line above)::

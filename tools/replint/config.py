@@ -40,6 +40,12 @@ class LintConfig:
         "repro/contracts.py",
     )
 
+    #: Packages whose public symbols form a documented operational
+    #: surface: REP006 requires docstrings (module, classes, functions)
+    #: so every serving symbol states its thread-safety and deadline
+    #: behaviour.
+    docstring_prefixes: tuple[str, ...] = ("repro/serving/",)
+
     #: Files allowed to mutate embedding matrices in place (REP005):
     #: the trainer (SGD + ReLU projection) and the fold-in optimiser.
     embedding_mutators: tuple[str, ...] = (
@@ -98,6 +104,11 @@ class LintConfig:
     def is_typed_api(self, path: str) -> bool:
         return not self.is_test_file(path) and self._suffix_match(
             path, self.typed_api_prefixes
+        )
+
+    def requires_docstrings(self, path: str) -> bool:
+        return not self.is_test_file(path) and self._suffix_match(
+            path, self.docstring_prefixes
         )
 
     def may_mutate_embeddings(self, path: str) -> bool:

@@ -1,0 +1,20 @@
+"""Seeded REP006 violation fixture for replint's self-check.
+
+This file is *meant to be wrong*: it sits under a ``.../repro/serving/``
+path, so REP006 requires docstrings on every public symbol — and the
+symbols below deliberately have none (the module docstring is present so
+the seeded violations are exactly the class/function ones the tests
+enumerate).  It is never imported.
+"""
+
+
+class UndocumentedController:  # REP006: public class, no docstring
+    def serve(self, user: int) -> int:  # REP006: public method
+        return user
+
+    def _internal(self, user: int) -> int:  # private: exempt
+        return user
+
+
+def undocumented_helper(x: int) -> int:  # REP006: public function
+    return x

@@ -1,4 +1,4 @@
-"""The five project rules, implemented over the stdlib AST.
+"""The six project rules, implemented over the stdlib AST.
 
 Each rule is a stateless object with a ``code``, a one-line ``summary``,
 an ``applies(path, config)`` scope predicate, and a
@@ -382,12 +382,72 @@ class EmbeddingMutation:
                     )
 
 
+# ----------------------------------------------------------------------
+# REP006 — the public serving API documents itself
+# ----------------------------------------------------------------------
+
+
+class MissingDocstring:
+    code = "REP006"
+    summary = (
+        "public symbols in repro/serving (module, classes, functions) "
+        "must carry docstrings stating thread-safety and deadline "
+        "behaviour"
+    )
+
+    def applies(self, path: str, config: LintConfig) -> bool:
+        return config.requires_docstrings(path)
+
+    @staticmethod
+    def _is_public(name: str) -> bool:
+        # Dunders are exempt: their contract is documented on the class.
+        return not name.startswith("_")
+
+    def check(
+        self, tree: ast.Module, path: str, config: LintConfig
+    ) -> Iterator[Violation]:
+        if ast.get_docstring(tree) is None:
+            yield _violation(
+                path, tree, self.code, "module is missing a docstring"
+            )
+        yield from self._walk(tree.body, path, parent=None)
+
+    def _walk(
+        self, body: list[ast.stmt], path: str, parent: str | None
+    ) -> Iterator[Violation]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if not self._is_public(node.name):
+                    continue
+                if ast.get_docstring(node) is None:
+                    yield _violation(
+                        path,
+                        node,
+                        self.code,
+                        f"public class '{node.name}' is missing a docstring",
+                    )
+                yield from self._walk(node.body, path, parent=node.name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not self._is_public(node.name):
+                    continue
+                if ast.get_docstring(node) is None:
+                    where = f"{parent}.{node.name}" if parent else node.name
+                    kind = "method" if parent else "function"
+                    yield _violation(
+                        path,
+                        node,
+                        self.code,
+                        f"public {kind} '{where}' is missing a docstring",
+                    )
+
+
 ALL_RULES = (
     GlobalRandomState(),
     HotPathLoop(),
     IncompleteAnnotations(),
     UnpinnedDtype(),
     EmbeddingMutation(),
+    MissingDocstring(),
 )
 
 RULE_CODES = tuple(rule.code for rule in ALL_RULES)

@@ -139,7 +139,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         prog="replint",
         description=(
             "Project-specific invariant linter for the GEM reproduction "
-            "(rules REP001-REP005; see tools/replint/__init__.py)."
+            "(rules REP001-REP006; see tools/replint/__init__.py)."
         ),
     )
     parser.add_argument(
