@@ -1,0 +1,239 @@
+"""Offline training throughput harness for the GEM trainer.
+
+Measures the three execution paths of the same Algorithm 2 workload on a
+synthetic preset and emits ``BENCH_training_throughput.json``:
+
+* **reference** — :meth:`JointTrainer.step` in a Python loop, one edge
+  per iteration; the paper-faithful baseline.
+* **batched** — :meth:`JointTrainer.train`, the vectorised path (fused
+  alias draws into reusable buffers, ``searchsorted`` noise rejection,
+  windowed graph schedule).  The headline number is its speedup over
+  the reference path; CI enforces a floor via ``--assert-speedup``.
+* **hogwild** — :func:`repro.core.parallel.train_parallel` at several
+  worker counts (chunked step allocation over shared memory).
+
+Throughput sections run *unprofiled* so the numbers are clean; a
+separate profiled batched run (and a profiled Hogwild run at the largest
+worker count) supplies the per-phase breakdown
+(:data:`repro.core.trainer.TRAINER_PHASES`) and sampling health
+counters — that is the profile that directed this optimisation work, and
+regressions show up as share drift long before they flip the speedup
+assert.
+
+The CI smoke in scripts/check.sh runs::
+
+    PYTHONPATH=src:. python benchmarks/train_harness.py \
+        --preset tiny --reference-steps 1500 --train-steps 30000 \
+        --hogwild-steps 15000 --workers 1 2 --assert-speedup 3.0
+
+The checked-in ``BENCH_training_throughput.json`` comes from the default
+(larger) configuration; see README.md § Training throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.parallel import train_parallel
+from repro.core.trainer import JointTrainer, TrainerConfig
+from repro.data import chronological_split, make_dataset
+from repro.utils.profiling import Profiler
+
+
+def build_bundle(args: argparse.Namespace):
+    """The training graph bundle for the chosen preset (timed)."""
+    t0 = time.perf_counter()
+    ebsn, _ = make_dataset(args.preset, seed=args.seed)
+    split = chronological_split(ebsn)
+    bundle = split.training_bundle()
+    return bundle, time.perf_counter() - t0
+
+
+def make_config(args: argparse.Namespace) -> TrainerConfig:
+    return TrainerConfig(
+        dim=args.dim,
+        sampler=args.sampler,
+        batch_size=args.batch_size,
+        schedule_window=args.schedule_window,
+        seed=args.seed,
+    )
+
+
+def bench_reference(bundle, config: TrainerConfig, n_steps: int) -> dict:
+    """steps/sec of the single-edge reference path (unprofiled)."""
+    trainer = JointTrainer(bundle, config, seed=config.seed)
+    t0 = time.perf_counter()
+    # replint: allow-loop(the reference path under measurement IS the loop)
+    for _ in range(n_steps):
+        trainer.step()
+    wall = time.perf_counter() - t0
+    return {
+        "steps": n_steps,
+        "wall_seconds": wall,
+        "steps_per_second": n_steps / wall if wall > 0 else 0.0,
+    }
+
+
+def bench_batched(bundle, config: TrainerConfig, n_steps: int) -> dict:
+    """steps/sec of the vectorised train() path (unprofiled)."""
+    trainer = JointTrainer(bundle, config, seed=config.seed)
+    t0 = time.perf_counter()
+    trainer.train(n_steps)
+    wall = time.perf_counter() - t0
+    return {
+        "steps": n_steps,
+        "wall_seconds": wall,
+        "steps_per_second": n_steps / wall if wall > 0 else 0.0,
+    }
+
+
+def profile_batched(bundle, config: TrainerConfig, n_steps: int) -> dict:
+    """Per-phase breakdown of a profiled train() run (slower; separate
+    from the throughput measurement on purpose)."""
+    trainer = JointTrainer(
+        bundle, config, seed=config.seed, profiler=Profiler(enabled=True)
+    )
+    trainer.train(n_steps)
+    return trainer.profile_report()
+
+
+def bench_hogwild(
+    bundle, config: TrainerConfig, n_steps: int, workers: list[int]
+) -> list[dict]:
+    """steps/sec at each worker count, plus a profiled phase breakdown
+    at the largest count (merged across workers)."""
+    rows = []
+    # replint: allow-loop(one timed run per requested worker count)
+    for w in workers:
+        result = train_parallel(bundle, config, n_steps, w, seed=config.seed)
+        rows.append(
+            {
+                "workers_requested": w,
+                "workers_used": result.n_workers,
+                "steps": result.total_steps,
+                "wall_seconds": result.wall_seconds,
+                "steps_per_second": (
+                    result.total_steps / result.wall_seconds
+                    if result.wall_seconds > 0
+                    else 0.0
+                ),
+                "steps_by_worker": result.steps_by_worker,
+            }
+        )
+    if rows:
+        profiled = train_parallel(
+            bundle, config, n_steps, workers[-1], seed=config.seed, profile=True
+        )
+        rows[-1]["profile"] = profiled.profile
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", default="beijing-small")
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--sampler", default="adaptive")
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--schedule-window", type=int, default=16)
+    parser.add_argument("--reference-steps", type=int, default=5_000)
+    parser.add_argument("--train-steps", type=int, default=200_000)
+    parser.add_argument("--hogwild-steps", type=int, default=100_000)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="Hogwild worker counts to measure",
+    )
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_training_throughput.json")
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero unless batched steps/sec >= this multiple of "
+        "the reference path",
+    )
+    args = parser.parse_args(argv)
+
+    bundle, build_s = build_bundle(args)
+    config = make_config(args)
+
+    reference = bench_reference(bundle, config, args.reference_steps)
+    batched = bench_batched(bundle, config, args.train_steps)
+    profile = profile_batched(bundle, config, args.train_steps)
+    hogwild = bench_hogwild(bundle, config, args.hogwild_steps, args.workers)
+
+    speedup = (
+        batched["steps_per_second"] / reference["steps_per_second"]
+        if reference["steps_per_second"] > 0
+        else 0.0
+    )
+    report = {
+        "bench": "training_throughput",
+        "config": {
+            "preset": args.preset,
+            "dim": args.dim,
+            "sampler": args.sampler,
+            "batch_size": args.batch_size,
+            "schedule_window": args.schedule_window,
+            "reference_steps": args.reference_steps,
+            "train_steps": args.train_steps,
+            "hogwild_steps": args.hogwild_steps,
+            "workers": args.workers,
+            "seed": args.seed,
+        },
+        "dataset_build_seconds": build_s,
+        "reference": reference,
+        "batched": batched,
+        "speedup_batched_vs_reference": speedup,
+        "hogwild": hogwild,
+        "profile": profile,
+    }
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    shares = {
+        name: entry["share"] for name, entry in profile["phases"].items()
+    }
+    top = ", ".join(
+        f"{name}={share:.0%}"
+        for name, share in sorted(shares.items(), key=lambda kv: -kv[1])
+    )
+    print(
+        f"training_throughput [{args.preset}] reference "
+        f"{reference['steps_per_second']:,.0f} steps/s, batched "
+        f"{batched['steps_per_second']:,.0f} steps/s "
+        f"(speedup {speedup:.1f}x)"
+    )
+    # replint: allow-loop(one summary line per measured worker count)
+    for row in hogwild:
+        print(
+            f"  hogwild x{row['workers_used']}: "
+            f"{row['steps_per_second']:,.0f} steps/s "
+            f"(steps_by_worker={row['steps_by_worker']})"
+        )
+    print(f"  phase shares: {top}")
+    print(
+        "  counters: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(profile["counters"].items()))
+    )
+    print(f"  wrote {args.out}")
+
+    if args.assert_speedup is not None and speedup < args.assert_speedup:
+        print(
+            f"FAIL: batched speedup {speedup:.2f}x below floor "
+            f"{args.assert_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,10 @@
 #                stalls on a tiny synthetic preset, asserting p99 within
 #                the deadline budget and zero silent drops
 #                (benchmarks/load_harness.py; see docs/OPERATIONS.md)
+#   6. training smoke — the training throughput harness on the tiny
+#                preset, asserting the batched train() path is at least
+#                3x the single-step reference path
+#                (benchmarks/train_harness.py; see DESIGN.md §9)
 #
 # ruff and mypy are skipped with a warning when not installed (minimal
 # containers); when present, any finding fails the gate.  Fails fast on
@@ -54,3 +58,9 @@ PYTHONPATH=src:.${PYTHONPATH:+:$PYTHONPATH} python benchmarks/load_harness.py \
     --requests 200 --warmup 40 \
     --faults "backend.query:delay=0.05" \
     --assert-p99-within-budget --assert-no-silent-drops
+
+echo "== training throughput smoke =="
+PYTHONPATH=src:.${PYTHONPATH:+:$PYTHONPATH} python benchmarks/train_harness.py \
+    --preset tiny --reference-steps 1500 --train-steps 30000 \
+    --hogwild-steps 15000 --workers 1 2 \
+    --assert-speedup 3.0 --out BENCH_training_smoke.json

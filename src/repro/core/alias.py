@@ -5,6 +5,18 @@ their weights (Section III-A "edge sampling") and graphs proportionally to
 their edge counts (Algorithm 2).  Linear or binary-search sampling would
 dominate the gradient cost; the alias method gives O(n) setup and O(1)
 per draw, fully vectorised here.
+
+Two draw kernels are provided:
+
+* :meth:`AliasTable.sample` — allocate-and-return; the general API.
+* :meth:`AliasTable.sample_into` — fills a caller-owned ``int64`` buffer
+  using table-owned scratch arrays, so the trainer's steady-state batch
+  loop performs no per-batch allocations for edge draws (the profiled
+  ``edge_draw`` phase; see DESIGN.md §9).
+
+All index outputs are pinned ``int64`` — the sampler/alias boundary is
+where indices enter the gradient kernels, and replint REP004 (strict
+mode for this file) enforces the pinning.
 """
 
 from __future__ import annotations
@@ -41,8 +53,8 @@ class AliasTable:
         prob = np.zeros(n, dtype=np.float64)
         alias = np.zeros(n, dtype=np.int64)
 
-        small = [i for i in range(n) if scaled[i] < 1.0]
-        large = [i for i in range(n) if scaled[i] >= 1.0]
+        small = np.flatnonzero(scaled < 1.0).tolist()
+        large = np.flatnonzero(scaled >= 1.0).tolist()
         scaled = scaled.copy()
         while small and large:
             s = small.pop()
@@ -62,17 +74,78 @@ class AliasTable:
 
         self._prob = prob
         self._alias = alias
+        # Scratch buffers for sample_into, (re)allocated on capacity change.
+        self._scratch_size = 0
+        self._scratch_u: np.ndarray | None = None
+        self._scratch_p: np.ndarray | None = None
+        self._scratch_a: np.ndarray | None = None
+        self._scratch_m: np.ndarray | None = None
 
     def sample(
         self,
         rng: "int | np.random.Generator | None" = None,
         size: int | None = None,
     ) -> "int | np.ndarray":
-        """Draw one index (``size=None``) or an array of ``size`` indices."""
+        """Draw one index (``size=None``) or an ``int64`` array of ``size``."""
         rng = ensure_rng(rng)
         if size is None:
             i = int(rng.integers(0, self.n))
             return i if rng.random() < self._prob[i] else int(self._alias[i])
-        idx = rng.integers(0, self.n, size=size)
+        idx = rng.integers(0, self.n, size=size, dtype=np.int64)
         accept = rng.random(size) < self._prob[idx]
-        return np.where(accept, idx, self._alias[idx])
+        return np.where(accept, idx, self._alias[idx]).astype(np.int64, copy=False)
+
+    # ------------------------------------------------------------------
+    def _ensure_scratch(self, size: int) -> None:
+        if self._scratch_size < size:
+            self._scratch_size = size
+            self._scratch_u = np.empty(size, dtype=np.float64)
+            self._scratch_p = np.empty(size, dtype=np.float64)
+            self._scratch_a = np.empty(size, dtype=np.int64)
+            self._scratch_m = np.empty(size, dtype=np.bool_)
+
+    def sample_into(
+        self, rng: np.random.Generator, out: np.ndarray
+    ) -> np.ndarray:
+        """Fill the 1-D ``int64`` buffer ``out`` with weighted draws.
+
+        Equivalent in distribution to ``sample(rng, size=out.size)`` but
+        allocation-free on the steady path: uniform draws, the acceptance
+        test and the alias redirect all run through table-owned scratch
+        buffers sized to the largest request seen.  Returns ``out``.
+
+        The random stream differs from :meth:`sample` (uniforms are
+        mapped to bins via ``floor(u * n)`` instead of
+        ``Generator.integers``), so the two kernels are not
+        draw-for-draw interchangeable under one seed — callers pick one
+        per code path (the trainer's batched path uses this one).
+        """
+        if out.ndim != 1:
+            raise ValueError(f"out must be 1-D, got shape {out.shape}")
+        if out.dtype != np.int64:
+            raise ValueError(f"out must be int64, got {out.dtype}")
+        size = out.shape[0]
+        if size == 0:
+            return out
+        self._ensure_scratch(size)
+        assert self._scratch_u is not None  # for the type checker
+        assert self._scratch_p is not None
+        assert self._scratch_a is not None
+        assert self._scratch_m is not None
+        u = self._scratch_u[:size]
+        p = self._scratch_p[:size]
+        a = self._scratch_a[:size]
+        m = self._scratch_m[:size]
+
+        # Bin draw: floor(u * n) is uniform over {0..n-1} for u in [0, 1).
+        rng.random(out=u)
+        np.multiply(u, self.n, out=u)
+        out[:] = u  # float -> int64 assignment truncates towards zero
+        np.minimum(out, self.n - 1, out=out)  # guard the u -> 1 rounding edge
+        # Acceptance draw against the bin's residual probability.
+        rng.random(out=u)
+        np.take(self._prob, out, out=p)
+        np.take(self._alias, out, out=a)
+        np.greater_equal(u, p, out=m)  # rejected -> follow the alias
+        np.copyto(out, a, where=m)
+        return out

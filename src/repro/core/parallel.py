@@ -9,6 +9,14 @@ embedding matrices: workers update the matrices concurrently without
 locks, exactly Hogwild's data-race-tolerant regime (updates are sparse —
 each step touches 2 + 2M rows).
 
+Work distribution is **chunked**, not pre-split: workers repeatedly grab
+``chunk_steps`` steps off a shared atomic counter until the budget is
+exhausted, so a worker slowed by scheduling noise (or an expensive
+adaptive-refresh window) does not leave the others idle at the tail.
+Each worker owns a private :class:`~repro.utils.profiling.Profiler`; the
+parent merges the per-worker reports into one aggregate phase breakdown
+(``ParallelTrainingResult.profile``) for the benchmark harness.
+
 On platforms without ``fork`` the driver falls back to a single worker
 (correct, just not parallel); the scalability benchmark records the
 worker count actually used.
@@ -18,14 +26,16 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
+from typing import Any
 
 import numpy as np
 
 from repro.core.embeddings import EmbeddingSet
 from repro.core.trainer import JointTrainer, TrainerConfig
 from repro.ebsn.graphs import GraphBundle
+from repro.utils.profiling import Profiler, merge_profiles
 from repro.utils.rng import ensure_rng, spawn_rngs
 
 
@@ -37,10 +47,24 @@ class ParallelTrainingResult:
     n_workers: int
     total_steps: int
     wall_seconds: float
+    #: Steps each worker actually executed under chunked allocation
+    #: (sums to ``total_steps``; the spread is a load-balance diagnostic).
+    steps_by_worker: list[int] = field(default_factory=list)
+    #: Merged per-phase breakdown across workers (``None`` unless the run
+    #: was started with ``profile=True``).  Shape matches
+    #: :meth:`JointTrainer.profile_report`.
+    profile: dict[str, Any] | None = None
 
 
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods() and os.name == "posix"
+
+
+def _default_chunk_steps(config: TrainerConfig, n_steps: int, n_workers: int) -> int:
+    """Chunk size balancing counter contention against tail idling:
+    ~8 grabs per worker, never below one batch."""
+    target = -(-n_steps // (n_workers * 8))
+    return max(config.batch_size, target)
 
 
 def train_parallel(
@@ -50,13 +74,20 @@ def train_parallel(
     n_workers: int,
     *,
     seed: "int | np.random.Generator | None" = None,
+    profile: bool = False,
+    chunk_steps: int | None = None,
 ) -> ParallelTrainingResult:
     """Train GEM with ``n_workers`` lock-free Hogwild workers.
 
-    The total work ``n_steps`` is split evenly across workers; each worker
-    runs the standard :class:`JointTrainer` loop against embedding matrices
-    backed by ``multiprocessing.shared_memory``, so concurrent updates are
+    Workers pull chunks of ``chunk_steps`` steps (default: ~8 chunks per
+    worker, at least one batch) from a shared counter and run the
+    standard :class:`JointTrainer` loop against embedding matrices backed
+    by ``multiprocessing.shared_memory``, so concurrent updates are
     visible to all workers (and to the parent) without copies or locks.
+
+    With ``profile=True`` each worker instruments its trainer and the
+    result carries the merged phase breakdown (at the usual profiling
+    cost — leave it off for speedup measurements).
 
     Returns the trained embeddings (copied out of shared memory) plus
     timing for speedup measurements.
@@ -68,6 +99,10 @@ def train_parallel(
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     config.validate()
+    if chunk_steps is None:
+        chunk_steps = _default_chunk_steps(config, max(n_steps, 1), n_workers)
+    elif chunk_steps < 1:
+        raise ValueError(f"chunk_steps must be >= 1, got {chunk_steps}")
     rng = ensure_rng(seed if seed is not None else config.seed)
 
     init = EmbeddingSet.random(
@@ -79,16 +114,20 @@ def train_parallel(
     )
 
     if n_workers == 1 or not _fork_available():
-        effective_workers = 1
+        profiler = Profiler(enabled=True) if profile else None
         start = time.perf_counter()
-        trainer = JointTrainer(bundle, config, embeddings=init, seed=rng)
+        trainer = JointTrainer(
+            bundle, config, embeddings=init, seed=rng, profiler=profiler
+        )
         trainer.train(n_steps)
         wall = time.perf_counter() - start
         return ParallelTrainingResult(
             embeddings=init,
-            n_workers=effective_workers,
+            n_workers=1,
             total_steps=n_steps,
             wall_seconds=wall,
+            steps_by_worker=[n_steps],
+            profile=trainer.profile_report() if profile else None,
         )
 
     # Move the matrices into shared memory.
@@ -104,19 +143,34 @@ def train_parallel(
         shared_set = EmbeddingSet(matrices=shared_matrices, dim=config.dim)
 
         worker_rngs = spawn_rngs(rng, n_workers)
-        steps_per_worker = [n_steps // n_workers] * n_workers
-        for w in range(n_steps % n_workers):
-            steps_per_worker[w] += 1
-
         ctx = multiprocessing.get_context("fork")
+        claimed = ctx.Value("q", 0)  # steps handed out so far (lock inside)
+        reports: Any = ctx.SimpleQueue()
 
         def run_worker(worker_idx: int) -> None:
             # After fork the shared mappings remain valid; each worker owns
-            # a private RNG stream and its own sampler state.
+            # a private RNG stream, sampler state and profiler.
+            profiler = Profiler(enabled=True) if profile else None
             trainer = JointTrainer(
-                bundle, config, embeddings=shared_set, seed=worker_rngs[worker_idx]
+                bundle,
+                config,
+                embeddings=shared_set,
+                seed=worker_rngs[worker_idx],
+                profiler=profiler,
             )
-            trainer.train(steps_per_worker[worker_idx])
+            done = 0
+            while True:
+                with claimed.get_lock():
+                    remaining = n_steps - claimed.value
+                    if remaining <= 0:
+                        break
+                    take = min(chunk_steps, remaining)
+                    claimed.value += take
+                trainer.train(take)
+                done += take
+            reports.put(
+                (worker_idx, done, trainer.profile_report() if profile else None)
+            )
 
         processes = [
             ctx.Process(target=run_worker, args=(w,)) for w in range(n_workers)
@@ -133,6 +187,17 @@ def train_parallel(
                     f"Hogwild worker exited with code {p.exitcode}"
                 )
 
+        steps_by_worker = [0] * n_workers
+        worker_profiles: list[dict[str, Any]] = []
+        while not reports.empty():
+            worker_idx, done, payload = reports.get()
+            steps_by_worker[worker_idx] = done
+            if payload is not None:
+                worker_profiles.append(payload)
+        merged: dict[str, Any] | None = None
+        if profile:
+            merged = merge_profiles(worker_profiles)
+
         result = EmbeddingSet(
             matrices={k: v.copy() for k, v in shared_matrices.items()},
             dim=config.dim,
@@ -142,6 +207,8 @@ def train_parallel(
             n_workers=n_workers,
             total_steps=n_steps,
             wall_seconds=wall,
+            steps_by_worker=steps_by_worker,
+            profile=merged,
         )
     finally:
         for shm in blocks:

@@ -53,6 +53,17 @@ class NoiseSampler:
     def notify_step(self, n_steps: int = 1) -> None:
         """Advance internal clocks (adaptive refresh); no-op for static."""
 
+    def maybe_refresh(self) -> None:
+        """Recompute any cached ranking state if it is due (no-op for
+        static samplers).
+
+        The trainer calls this explicitly before drawing a batch so the
+        refresh cost lands in its own profiled phase
+        (``adaptive_refresh``) instead of being folded into
+        ``negative_sampling``; samplers still self-refresh lazily if a
+        caller skips it.
+        """
+
 
 class UniformNoiseSampler(NoiseSampler):
     """Uniform noise over a candidate node set — PCMF's distribution.
@@ -82,8 +93,10 @@ class UniformNoiseSampler(NoiseSampler):
         context_vector: np.ndarray | None = None,
     ) -> np.ndarray:
         if self.candidates is None:
-            return rng.integers(0, self.n_nodes, size=size)
-        return self.candidates[rng.integers(0, self.candidates.size, size=size)]
+            return rng.integers(0, self.n_nodes, size=size, dtype=np.int64)
+        return self.candidates[
+            rng.integers(0, self.candidates.size, size=size, dtype=np.int64)
+        ]
 
 
 class DegreeNoiseSampler(NoiseSampler):

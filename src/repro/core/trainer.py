@@ -11,12 +11,38 @@ with ReLU projection.
 Two execution paths share the semantics:
 
 * :meth:`JointTrainer.step` — one edge at a time (Algorithm 2 verbatim);
-  the reference for unit tests.
-* :meth:`JointTrainer.train` — mini-batched and vectorised: a graph is
-  drawn per *batch* and ``batch_size`` edges are processed with gradients
-  evaluated at the batch-start parameters.  Expected sampling proportions
-  are identical; the staleness inside a batch mirrors the asynchronous
-  (Hogwild) updates the paper uses anyway.
+  the reference for unit tests and the baseline the training benchmark
+  harness (``benchmarks/train_harness.py``) measures speedups against.
+* :meth:`JointTrainer.train` — mini-batched and vectorised: graphs are
+  drawn per *batch* from a precomputed schedule and ``batch_size`` edges
+  are processed with gradients evaluated at the batch-start parameters.
+  Expected sampling proportions are identical (verified by the chi-square
+  tests in ``tests/test_training_equivalence.py``); the staleness inside
+  a batch mirrors the asynchronous (Hogwild) updates the paper uses
+  anyway.
+
+The batched path is built for throughput (DESIGN.md §9):
+
+* the **graph schedule** for a whole ``train()`` call is drawn up front
+  in one vectorised alias draw and consecutive batches are grouped by
+  graph inside fixed windows — identical per-batch marginal
+  probabilities, fewer alias-table touches and better cache locality;
+* **edge draws** go through :meth:`AliasTable.sample_into` into a
+  preallocated reusable buffer;
+* **noise rejection** replaces per-row Python set probes with one
+  ``searchsorted`` membership test over precomputed composite edge keys,
+  bounded by :data:`REJECT_MAX_ROUNDS` resample rounds plus a final
+  uniform fallback draw (counted in ``sampling_counters``) so dense
+  graphs cannot stall a step;
+* every phase is instrumented through
+  :class:`repro.utils.profiling.Profiler` (near-zero cost when disabled,
+  the default) under the names in :data:`TRAINER_PHASES`.
+
+**Observation is passive**: ``callback``/``log_every`` monitoring fires
+at the first batch boundary at or after the requested step and never
+alters batching or sampling, so ``train()`` results are bit-identical
+whatever monitoring cadence is requested (seed-reproducibility test in
+``tests/test_training_equivalence.py``).
 
 The trainer also implements the noise-node definition strictly: noise
 nodes are "nodes without any link to" the context node, so sampled
@@ -42,10 +68,27 @@ from repro.core.samplers import (
 )
 from repro.core.updates import sgd_step, sgd_step_batch
 from repro.ebsn.graphs import BipartiteGraph, GraphBundle
+from repro.utils.profiling import NULL_PROFILER, Profiler
 from repro.utils.rng import ensure_rng
 
 SAMPLER_CHOICES = ("adaptive", "adaptive-exact", "degree", "uniform")
 GRAPH_SAMPLING_CHOICES = ("proportional", "uniform")
+
+#: Resample rounds the noise-rejection kernel performs before giving up
+#: and keeping one final uniform draw (see :meth:`JointTrainer._reject_batch`).
+REJECT_MAX_ROUNDS = 8
+
+#: Canonical profiling phase names of one training step/batch, in hot-path
+#: order.  The benchmark harness and the Hogwild driver report shares
+#: under these names.
+TRAINER_PHASES = (
+    "graph_draw",
+    "edge_draw",
+    "adaptive_refresh",
+    "negative_sampling",
+    "adjacency_reject",
+    "sgd",
+)
 
 
 @dataclass(slots=True)
@@ -80,6 +123,12 @@ class TrainerConfig:
     init_scale: float = 0.1
     adaptive_refresh_interval: int | None = None
     batch_size: int = 256
+    #: Batches per graph-schedule grouping window: within each window of
+    #: this many consecutive batches the precomputed graph assignments
+    #: are stably reordered so same-graph batches run back to back
+    #: (identical marginal sampling probabilities — only execution order
+    #: inside the window changes).  1 disables grouping.
+    schedule_window: int = 16
     seed: int = 13
     #: Linear learning-rate decay horizon in steps (LINE's schedule:
     #: α(t) = α·max(1 − t/horizon, floor)).  ``None`` keeps α constant.
@@ -118,6 +167,10 @@ class TrainerConfig:
             )
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.schedule_window < 1:
+            raise ValueError(
+                f"schedule_window must be >= 1, got {self.schedule_window}"
+            )
         if self.decay_horizon is not None and self.decay_horizon <= 0:
             raise ValueError(
                 f"decay_horizon must be > 0 or None, got {self.decay_horizon}"
@@ -152,14 +205,22 @@ class TrainerConfig:
 
 @dataclass(slots=True)
 class _GraphState:
-    """Per-graph sampling machinery."""
+    """Per-graph sampling machinery.
+
+    The ``reject_*`` arrays are the precomputed composite-key adjacency
+    from :meth:`BipartiteGraph.neighbour_keys` (``None`` when
+    ``reject_observed`` is off): ``reject_left_*`` rejects right-side
+    noise against left contexts, ``reject_right_*`` the mirror image.
+    """
 
     graph: BipartiteGraph
     edge_table: AliasTable
     right_sampler: NoiseSampler
     left_sampler: NoiseSampler | None
-    adjacency_left: list[set[int]] | None
-    adjacency_right: list[set[int]] | None
+    reject_left_keys: np.ndarray | None
+    reject_left_counts: np.ndarray | None
+    reject_right_keys: np.ndarray | None
+    reject_right_counts: np.ndarray | None
 
 
 @dataclass(slots=True)
@@ -185,6 +246,10 @@ class JointTrainer:
         Optional pre-allocated :class:`EmbeddingSet` (the Hogwild driver
         passes shared-memory-backed matrices); a fresh random one is
         created otherwise.
+    profiler:
+        Optional :class:`~repro.utils.profiling.Profiler` recording the
+        per-phase breakdown (:data:`TRAINER_PHASES`); defaults to the
+        shared disabled instance, which costs ~one branch per phase.
     """
 
     def __init__(
@@ -194,11 +259,13 @@ class JointTrainer:
         *,
         embeddings: EmbeddingSet | None = None,
         seed: "int | np.random.Generator | None" = None,
+        profiler: Profiler | None = None,
     ) -> None:
         self.config = config or TrainerConfig()
         self.config.validate()
         self.bundle = bundle
         self.rng = ensure_rng(self.config.seed if seed is None else seed)
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
 
         if embeddings is None:
             embeddings = EmbeddingSet.random(
@@ -239,6 +306,13 @@ class JointTrainer:
         self.graph_sample_counts: dict[str, int] = {
             name: 0 for name in self._graph_names
         }
+        #: Hot-path health counters, live regardless of profiling:
+        #: ``reject_cap_hits`` counts noise entries that exhausted
+        #: :data:`REJECT_MAX_ROUNDS` resample rounds and kept the final
+        #: uniform fallback draw.
+        self.sampling_counters: dict[str, int] = {"reject_cap_hits": 0}
+        # Reusable int64 edge-draw buffer for the batched path.
+        self._edge_buf = np.empty(self.config.batch_size, dtype=np.int64)
 
     # ------------------------------------------------------------------
     def current_learning_rate(self) -> float:
@@ -281,6 +355,11 @@ class JointTrainer:
 
     def _build_state(self, graph: BipartiteGraph) -> _GraphState:
         cfg = self.config
+        reject_left_keys = reject_left_counts = None
+        reject_right_keys = reject_right_counts = None
+        if cfg.reject_observed:
+            reject_left_keys, reject_left_counts = graph.neighbour_keys("left")
+            reject_right_keys, reject_right_counts = graph.neighbour_keys("right")
         return _GraphState(
             graph=graph,
             edge_table=AliasTable(graph.weights),
@@ -288,96 +367,142 @@ class JointTrainer:
             left_sampler=(
                 self._make_sampler(graph, "left") if cfg.bidirectional else None
             ),
-            adjacency_left=(
-                graph.adjacency_left() if cfg.reject_observed else None
-            ),
-            adjacency_right=(
-                graph.adjacency_right() if cfg.reject_observed else None
-            ),
+            reject_left_keys=reject_left_keys,
+            reject_left_counts=reject_left_counts,
+            reject_right_keys=reject_right_keys,
+            reject_right_counts=reject_right_counts,
         )
 
     # ------------------------------------------------------------------
     # Rejection of observed (positive) neighbours among sampled noise
     # ------------------------------------------------------------------
-    def _reject(
+    def _reject_batch(
         self,
         noise: np.ndarray,
-        contexts_idx: np.ndarray,
-        adjacency: list[set[int]],
+        contexts: np.ndarray,
+        keys: np.ndarray,
+        counts: np.ndarray,
+        stride: int,
         sampler: NoiseSampler,
     ) -> np.ndarray:
         """Replace noise entries that are observed neighbours of their
         context node (they are positives, not noise) by uniform redraws
-        from the sampler's candidate set."""
+        from the sampler's candidate set — in place, vectorised.
+
+        Membership is one ``searchsorted`` probe per entry against the
+        sorted composite keys ``context * stride + node``.  Rows whose
+        context is linked to every candidate have no valid noise and are
+        left untouched.  At most :data:`REJECT_MAX_ROUNDS` whole-batch
+        resample rounds run; entries still colliding after that take one
+        final uniform draw, accepted as-is (a bounded-work approximation
+        — the capped entries are counted in
+        ``sampling_counters["reject_cap_hits"]``), so adversarially dense
+        graphs cannot stall a training step.
+        """
         candidates = getattr(sampler, "candidates", None)
-        pool_size = (
-            candidates.size if candidates is not None else sampler.n_nodes
-        )
-        out = noise.copy()
-        B, M = out.shape
-        for b in range(B):
-            adj = adjacency[int(contexts_idx[b])]
-            if len(adj) >= pool_size:
-                continue  # every candidate is a neighbour; nothing is noise
-            for m in range(M):
-                tries = 0
-                while int(out[b, m]) in adj and tries < 8:
-                    draw = int(self.rng.integers(0, pool_size))
-                    out[b, m] = (
-                        int(candidates[draw]) if candidates is not None else draw
-                    )
-                    tries += 1
-        return out
+        pool = candidates.size if candidates is not None else sampler.n_nodes
+        eligible = counts[contexts] < pool
+        if not eligible.any():
+            return noise
+        base = contexts.astype(np.int64, copy=False) * np.int64(stride)
+
+        def _collisions() -> np.ndarray:
+            query = base[:, None] + noise
+            flat = query.ravel()
+            pos = np.searchsorted(keys, flat)
+            hit = np.zeros(flat.shape[0], dtype=np.bool_)
+            in_range = pos < keys.shape[0]
+            hit[in_range] = keys[pos[in_range]] == flat[in_range]
+            return hit.reshape(query.shape) & eligible[:, None]
+
+        def _redraw(mask: np.ndarray) -> None:
+            draws = self.rng.integers(
+                0, pool, size=int(mask.sum()), dtype=np.int64
+            )
+            noise[mask] = candidates[draws] if candidates is not None else draws
+
+        for _ in range(REJECT_MAX_ROUNDS):
+            hit = _collisions()
+            if not hit.any():
+                return noise
+            _redraw(hit)
+        hit = _collisions()
+        n_capped = int(hit.sum())
+        if n_capped:
+            self.sampling_counters["reject_cap_hits"] += n_capped
+            _redraw(hit)  # final uniform fallback, accepted without recheck
+        return noise
 
     # ------------------------------------------------------------------
     # Reference single-step path (Algorithm 2 lines 3-6, one iteration)
     # ------------------------------------------------------------------
     def step(self) -> float:
         """One stochastic gradient step; returns σ(v_i·v_j) pre-update."""
-        name = self._graph_names[int(self._graph_table.sample(self.rng))]
+        prof = self.profiler
+        with prof.phase("graph_draw"):
+            name = self._graph_names[int(self._graph_table.sample(self.rng))]
         self.graph_sample_counts[name] += 1
         state = self._states[name]
         graph = state.graph
-        e = int(state.edge_table.sample(self.rng))
+        with prof.phase("edge_draw"):
+            e = int(state.edge_table.sample(self.rng))
         i, j = int(graph.left[e]), int(graph.right[e])
 
         left_m = self.embeddings.of(graph.left_type)
         right_m = self.embeddings.of(graph.right_type)
         M = self.config.n_negatives
 
-        neg_right = state.right_sampler.sample(self.rng, M, context_vector=left_m[i])
-        if state.adjacency_left is not None:
-            neg_right = self._reject(
-                neg_right.reshape(1, -1),
-                np.array([i], dtype=np.int64),
-                state.adjacency_left,
-                state.right_sampler,
-            ).ravel()
+        with prof.phase("adaptive_refresh"):
+            state.right_sampler.maybe_refresh()
+            if state.left_sampler is not None:
+                state.left_sampler.maybe_refresh()
+
+        with prof.phase("negative_sampling"):
+            neg_right = state.right_sampler.sample(
+                self.rng, M, context_vector=left_m[i]
+            )
+        if state.reject_left_keys is not None:
+            assert state.reject_left_counts is not None
+            with prof.phase("adjacency_reject"):
+                neg_right = self._reject_batch(
+                    neg_right.reshape(1, -1),
+                    np.array([i], dtype=np.int64),
+                    state.reject_left_keys,
+                    state.reject_left_counts,
+                    graph.n_right,
+                    state.right_sampler,
+                ).ravel()
 
         if state.left_sampler is not None:
-            neg_left = state.left_sampler.sample(
-                self.rng, M, context_vector=right_m[j]
-            )
-            if state.adjacency_right is not None:
-                neg_left = self._reject(
-                    neg_left.reshape(1, -1),
-                    np.array([j], dtype=np.int64),
-                    state.adjacency_right,
-                    state.left_sampler,
-                ).ravel()
+            with prof.phase("negative_sampling"):
+                neg_left = state.left_sampler.sample(
+                    self.rng, M, context_vector=right_m[j]
+                )
+            if state.reject_right_keys is not None:
+                assert state.reject_right_counts is not None
+                with prof.phase("adjacency_reject"):
+                    neg_left = self._reject_batch(
+                        neg_left.reshape(1, -1),
+                        np.array([j], dtype=np.int64),
+                        state.reject_right_keys,
+                        state.reject_right_counts,
+                        graph.n_left,
+                        state.left_sampler,
+                    ).ravel()
         else:
             neg_left = np.empty(0, dtype=np.int64)
 
-        prob = sgd_step(
-            left_m,
-            right_m,
-            i,
-            j,
-            neg_right,
-            neg_left,
-            self.current_learning_rate(),
-            nonnegative=self.config.nonnegative,
-        )
+        with prof.phase("sgd"):
+            prob = sgd_step(
+                left_m,
+                right_m,
+                i,
+                j,
+                neg_right,
+                neg_left,
+                self.current_learning_rate(),
+                nonnegative=self.config.nonnegative,
+            )
         state.right_sampler.notify_step()
         if state.left_sampler is not None:
             state.left_sampler.notify_step()
@@ -387,43 +512,100 @@ class JointTrainer:
     # ------------------------------------------------------------------
     # Vectorised batched path
     # ------------------------------------------------------------------
-    def _train_batch(self, batch_size: int) -> float:
-        name = self._graph_names[int(self._graph_table.sample(self.rng))]
+    def _plan_schedule(self, n_steps: int) -> tuple[np.ndarray, np.ndarray]:
+        """Precompute ``(graph_indices, batch_sizes)`` for ``n_steps``.
+
+        One vectorised alias draw assigns a graph to every batch; within
+        fixed windows of ``config.schedule_window`` consecutive batches
+        the assignments are then stably reordered so same-graph batches
+        run back to back.  Each batch's marginal graph distribution is
+        untouched (the draw happens before grouping), so expected
+        sampling proportions match :meth:`step` exactly; only execution
+        order inside a window changes.
+        """
+        batch = self.config.batch_size
+        n_batches = -(-n_steps // batch)
+        sizes = np.full(n_batches, batch, dtype=np.int64)
+        sizes[-1] = n_steps - batch * (n_batches - 1)
+        graphs = np.asarray(
+            self._graph_table.sample(self.rng, size=n_batches), dtype=np.int64
+        )
+        window = self.config.schedule_window
+        if window > 1 and n_batches > 2:
+            windows = np.arange(n_batches, dtype=np.int64) // window
+            order = np.argsort(
+                windows * np.int64(len(self._graph_names)) + graphs,
+                kind="stable",
+            )
+            graphs = graphs[order]
+            sizes = sizes[order]
+        return graphs, sizes
+
+    def _train_batch(self, graph_idx: int, batch_size: int) -> float:
+        name = self._graph_names[graph_idx]
         self.graph_sample_counts[name] += batch_size
         state = self._states[name]
         graph = state.graph
+        prof = self.profiler
 
-        edges = np.asarray(state.edge_table.sample(self.rng, size=batch_size))
+        with prof.phase("edge_draw"):
+            edges = state.edge_table.sample_into(
+                self.rng, self._edge_buf[:batch_size]
+            )
         i = graph.left[edges]
         j = graph.right[edges]
         left_m = self.embeddings.of(graph.left_type)
         right_m = self.embeddings.of(graph.right_type)
         M = self.config.n_negatives
 
-        neg_right = state.right_sampler.sample_batch(self.rng, left_m[i], M)
-        if state.adjacency_left is not None:
-            neg_right = self._reject(
-                neg_right, i, state.adjacency_left, state.right_sampler
-            )
+        with prof.phase("adaptive_refresh"):
+            state.right_sampler.maybe_refresh()
+            if state.left_sampler is not None:
+                state.left_sampler.maybe_refresh()
+
+        with prof.phase("negative_sampling"):
+            neg_right = state.right_sampler.sample_batch(self.rng, left_m[i], M)
+        if state.reject_left_keys is not None:
+            assert state.reject_left_counts is not None
+            with prof.phase("adjacency_reject"):
+                neg_right = self._reject_batch(
+                    neg_right,
+                    i,
+                    state.reject_left_keys,
+                    state.reject_left_counts,
+                    graph.n_right,
+                    state.right_sampler,
+                )
 
         neg_left = None
         if state.left_sampler is not None:
-            neg_left = state.left_sampler.sample_batch(self.rng, right_m[j], M)
-            if state.adjacency_right is not None:
-                neg_left = self._reject(
-                    neg_left, j, state.adjacency_right, state.left_sampler
+            with prof.phase("negative_sampling"):
+                neg_left = state.left_sampler.sample_batch(
+                    self.rng, right_m[j], M
                 )
+            if state.reject_right_keys is not None:
+                assert state.reject_right_counts is not None
+                with prof.phase("adjacency_reject"):
+                    neg_left = self._reject_batch(
+                        neg_left,
+                        j,
+                        state.reject_right_keys,
+                        state.reject_right_counts,
+                        graph.n_left,
+                        state.left_sampler,
+                    )
 
-        prob = sgd_step_batch(
-            left_m,
-            right_m,
-            i,
-            j,
-            neg_right,
-            neg_left,
-            self.current_learning_rate(),
-            nonnegative=self.config.nonnegative,
-        )
+        with prof.phase("sgd"):
+            prob = sgd_step_batch(
+                left_m,
+                right_m,
+                i,
+                j,
+                neg_right,
+                neg_left,
+                self.current_learning_rate(),
+                nonnegative=self.config.nonnegative,
+            )
         state.right_sampler.notify_step(batch_size)
         if state.left_sampler is not None:
             state.left_sampler.notify_step(batch_size)
@@ -434,31 +616,35 @@ class JointTrainer:
         self,
         n_steps: int,
         *,
-        callback: Callable[[int, JointTrainer], None] | None = None,
+        callback: Callable[[int, "JointTrainer"], None] | None = None,
         callback_every: int | None = None,
         log_every: int | None = None,
     ) -> EmbeddingSet:
         """Run ``n_steps`` gradient steps (mini-batched).
 
-        ``callback(steps_done, trainer)`` fires every ``callback_every``
-        steps — the convergence experiments (Tables II-III) snapshot
-        accuracy there.  ``log_every`` records the mean positive-edge
-        probability into :attr:`log`.
+        ``callback(steps_done, trainer)`` fires at the first batch
+        boundary at or after each multiple of ``callback_every`` steps —
+        the convergence experiments (Tables II-III) snapshot accuracy
+        there.  ``log_every`` likewise records the mean positive-edge
+        probability into :attr:`log`.  Monitoring is *passive*: the
+        precomputed batch schedule never depends on it, so the trained
+        embeddings are bit-identical whatever cadence is requested.
         """
         if n_steps < 0:
             raise ValueError(f"n_steps must be >= 0, got {n_steps}")
-        target = self.steps_done + n_steps
+        if n_steps == 0:
+            return self.embeddings
+        prof = self.profiler
+        with prof.phase("graph_draw"):
+            graphs, sizes = self._plan_schedule(n_steps)
         next_callback = (
-            self.steps_done + callback_every if callback_every else None
+            self.steps_done + callback_every
+            if callback is not None and callback_every
+            else None
         )
         next_log = self.steps_done + log_every if log_every else None
-        while self.steps_done < target:
-            batch = min(self.config.batch_size, target - self.steps_done)
-            if next_callback is not None:
-                batch = min(batch, max(next_callback - self.steps_done, 1))
-            if next_log is not None:
-                batch = min(batch, max(next_log - self.steps_done, 1))
-            prob = self._train_batch(batch)
+        for b in range(graphs.shape[0]):
+            prob = self._train_batch(int(graphs[b]), int(sizes[b]))
             if next_log is not None and self.steps_done >= next_log:
                 self.log.append(
                     TrainingLogEntry(
@@ -467,6 +653,35 @@ class JointTrainer:
                 )
                 next_log = self.steps_done + log_every
             if next_callback is not None and self.steps_done >= next_callback:
+                assert callback is not None
                 callback(self.steps_done, self)
                 next_callback = self.steps_done + callback_every
         return self.embeddings
+
+    # ------------------------------------------------------------------
+    def profile_report(self) -> dict[str, Any]:
+        """Per-phase breakdown plus sampling health counters.
+
+        Phases and shares come from the attached profiler (all zero when
+        profiling is disabled); counters are live either way:
+        ``reject_cap_hits`` plus the adaptive samplers' refresh/tail-sort
+        counts, and ``steps_done``.  The Hogwild driver merges one of
+        these per worker; the benchmark harness persists the result into
+        ``BENCH_training_throughput.json``.
+        """
+        report = self.profiler.as_dict()
+        counters = dict(self.profiler.counters)
+        counters.update(self.sampling_counters)
+        refreshes = 0
+        tail_sorts = 0
+        for state in self._states.values():
+            for sampler in (state.right_sampler, state.left_sampler):
+                if sampler is None:
+                    continue
+                refreshes += int(getattr(sampler, "n_refreshes", 0))
+                tail_sorts += int(getattr(sampler, "n_tail_sorts", 0))
+        counters["adaptive_refreshes"] = refreshes
+        counters["adaptive_tail_sorts"] = tail_sorts
+        counters["steps_done"] = self.steps_done
+        report["counters"] = counters
+        return report

@@ -116,6 +116,32 @@ class BipartiteGraph:
             adj[r].add(l)
         return adj
 
+    def neighbour_keys(self, side: str) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised adjacency for batched set-membership tests.
+
+        Returns ``(keys, counts)`` where ``keys`` is the sorted, deduplicated
+        ``int64`` array of composite edge keys ``context * stride + neighbour``
+        (``side='left'``: context is the left node, stride ``n_right``;
+        ``side='right'``: context is the right node, stride ``n_left``), and
+        ``counts[c]`` is the number of distinct neighbours of context ``c``.
+        Membership of ``(c, v)`` is then one ``np.searchsorted`` probe — the
+        trainer's noise-rejection kernel runs on this instead of per-row
+        Python set lookups.
+        """
+        if side == "left":
+            keys = self.left * np.int64(self.n_right) + self.right
+            n_contexts, stride = self.n_left, self.n_right
+        elif side == "right":
+            keys = self.right * np.int64(self.n_left) + self.left
+            n_contexts, stride = self.n_right, self.n_left
+        else:
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        keys = np.unique(keys.astype(np.int64, copy=False))
+        counts = np.bincount(keys // stride, minlength=n_contexts).astype(
+            np.int64, copy=False
+        )
+        return keys, counts
+
 
 #: Canonical graph names used throughout the library.
 USER_EVENT = "user_event"

@@ -72,6 +72,12 @@ from repro.serving.telemetry import (
     QueryStats,
     _Timer,
 )
+from repro.utils.profiling import NULL_PROFILER, Profiler
+
+#: Canonical build-phase names recorded by the engine's profiler (the
+#: same :class:`~repro.utils.profiling.Profiler` API the offline trainer
+#: uses, so one report format covers training and serving builds).
+BUILD_PHASES = ("build.transform", "build.index", "build.pruned_sibling")
 
 #: Default pruning level for ``*-pruned`` backends when the caller does
 #: not pick k: 5% of the candidate events, Fig 7's sweet spot (the
@@ -126,6 +132,13 @@ class ServingEngine:
     ladder:
         A shared :class:`~repro.serving.lifecycle.LadderPolicy`; a
         private one is created when omitted.
+    profiler:
+        Optional :class:`~repro.utils.profiling.Profiler` recording the
+        build-phase breakdown (:data:`BUILD_PHASES`) across
+        :meth:`warm` / :meth:`warm_ladder` / :meth:`rebuild` /
+        :meth:`refresh`; defaults to the shared disabled instance.  Only
+        touched under the build lock, matching the profiler's
+        one-thread-at-a-time contract.
     """
 
     def __init__(
@@ -141,6 +154,7 @@ class ServingEngine:
         metrics: MetricsRegistry | None = None,
         stale_cache_size: int = 1024,
         ladder: LadderPolicy | None = None,
+        profiler: Profiler | None = None,
     ) -> None:
         self.user_vectors = np.asarray(user_vectors, dtype=np.float64)
         self.event_vectors = np.asarray(event_vectors, dtype=np.float64)
@@ -168,6 +182,7 @@ class ServingEngine:
         # `is not None` matters: an empty registry is falsy via __len__.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.ladder = ladder if ladder is not None else LadderPolicy()
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.build_stats = BuildStats()
         self._version = 1
         self._space: PairSpace | None = None
@@ -226,6 +241,18 @@ class ServingEngine:
         """Resident bytes of the built index (0 before first build)."""
         return self._backend.memory_bytes()
 
+    def build_profile(self) -> dict:
+        """Per-phase breakdown of build work (:data:`BUILD_PHASES`).
+
+        Shape matches :meth:`repro.utils.profiling.Profiler.as_dict` —
+        the same report format the offline trainer emits — covering every
+        build performed through the attached profiler so far (all empty
+        when the engine was constructed without one).  Taken under the
+        build lock so a concurrent refresh cannot tear the snapshot.
+        """
+        with self._build_lock:
+            return self.profiler.as_dict()
+
     def cache_info(self) -> dict:
         """Result-cache occupancy: ``{"size": ..., "max_size": ...}``."""
         with self._cache_lock:
@@ -278,7 +305,7 @@ class ServingEngine:
                         )
                     ),
                 )
-                with _Timer() as t:
+                with _Timer() as t, self.profiler.phase("build.pruned_sibling"):
                     space = build_pruned_pair_space(
                         self.event_vectors[self.candidate_events],
                         self.user_vectors[self.candidate_partners],
@@ -298,23 +325,25 @@ class ServingEngine:
         k = self._effective_top_k()
         with _Timer() as t:
             fault_point("backend.build")
-            if k is not None:
-                space = build_pruned_pair_space(
-                    ev,
-                    pa,
-                    k,
-                    event_ids=self.candidate_events,
-                    partner_ids=self.candidate_partners,
-                )
-            else:
-                space = transform_all_pairs(
-                    ev,
-                    pa,
-                    event_ids=self.candidate_events,
-                    partner_ids=self.candidate_partners,
-                )
-            space.version = self._version
-            self._backend.build(space)
+            with self.profiler.phase("build.transform"):
+                if k is not None:
+                    space = build_pruned_pair_space(
+                        ev,
+                        pa,
+                        k,
+                        event_ids=self.candidate_events,
+                        partner_ids=self.candidate_partners,
+                    )
+                else:
+                    space = transform_all_pairs(
+                        ev,
+                        pa,
+                        event_ids=self.candidate_events,
+                        partner_ids=self.candidate_partners,
+                    )
+                space.version = self._version
+            with self.profiler.phase("build.index"):
+                self._backend.build(space)
         self._space = space
         self.build_stats.n_full_builds += 1
         self.build_stats.n_pairs_transformed += space.n_pairs
@@ -421,25 +450,27 @@ class ServingEngine:
             return int(fresh.size)
 
         with _Timer() as t:
-            block = transform_all_pairs(
-                self.event_vectors[fresh],
-                self.user_vectors[self.candidate_partners],
-                event_ids=fresh,
-                partner_ids=self.candidate_partners,
-            )
-            old = self._space
-            combined = PairSpace(
-                points=np.concatenate([old.points, block.points]),
-                partner_ids=np.concatenate(
-                    [old.partner_ids, block.partner_ids]
-                ),
-                event_ids=np.concatenate([old.event_ids, block.event_ids]),
-                version=self._version,
-            )
-            if hasattr(self._backend, "extend"):
-                self._backend.extend(combined, old.n_pairs)
-            else:
-                self._backend.build(combined)
+            with self.profiler.phase("build.transform"):
+                block = transform_all_pairs(
+                    self.event_vectors[fresh],
+                    self.user_vectors[self.candidate_partners],
+                    event_ids=fresh,
+                    partner_ids=self.candidate_partners,
+                )
+                old = self._space
+                combined = PairSpace(
+                    points=np.concatenate([old.points, block.points]),
+                    partner_ids=np.concatenate(
+                        [old.partner_ids, block.partner_ids]
+                    ),
+                    event_ids=np.concatenate([old.event_ids, block.event_ids]),
+                    version=self._version,
+                )
+            with self.profiler.phase("build.index"):
+                if hasattr(self._backend, "extend"):
+                    self._backend.extend(combined, old.n_pairs)
+                else:
+                    self._backend.build(combined)
         self._space = combined
         self.candidate_events = np.concatenate(
             [self.candidate_events, fresh]

@@ -1,5 +1,11 @@
-"""Shared utilities: RNG normalisation, validation helpers, simple timers."""
+"""Shared utilities: RNG normalisation, validation helpers, profiling."""
 
+from repro.utils.profiling import (
+    NULL_PROFILER,
+    PhaseStat,
+    Profiler,
+    merge_profiles,
+)
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.validation import (
     check_fraction,
@@ -9,7 +15,11 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "NULL_PROFILER",
+    "PhaseStat",
+    "Profiler",
     "ensure_rng",
+    "merge_profiles",
     "spawn_rngs",
     "check_fraction",
     "check_positive",

@@ -146,3 +146,83 @@ class TestApproximateSampler:
         e = exact.sample(rng, 100, context_vector=context)
         assert (a == 3).mean() > 0.9
         assert (e == 3).mean() > 0.9
+
+
+class TestHybridRefresh:
+    """The argpartition head + lazy tail must reproduce the full sort.
+
+    With a continuous random matrix (no ties) the combined head+tail
+    ranking is *exactly* ``argsort(-column, stable)`` for every column,
+    and the deferred tail sort only runs when a tail rank is requested.
+    """
+
+    def _hybrid(self, rng, n=500, k=4, lam=2.0):
+        matrix = rng.random((n, k))  # continuous => tie-free columns
+        sampler = AdaptiveNoiseSampler(matrix, lam=lam)
+        assert sampler.rank_cutoff < n  # hybrid path engaged
+        sampler.refresh()
+        return matrix, sampler
+
+    def test_head_and_tail_reproduce_full_sort(self, rng):
+        matrix, sampler = self._hybrid(rng)
+        n, k = matrix.shape
+        all_ranks = np.arange(n, dtype=np.int64)
+        for dim in range(k):
+            got = sampler._nodes_at(all_ranks, np.full(n, dim, dtype=np.int64))
+            want = np.argsort(-matrix[:, dim], kind="stable")
+            np.testing.assert_array_equal(got, want)
+
+    def test_head_and_tail_reproduce_full_sort_with_candidates(self, rng):
+        n, k = 400, 3
+        matrix = rng.random((n, k))
+        cands = np.sort(rng.choice(n, size=120, replace=False)).astype(np.int64)
+        sampler = AdaptiveNoiseSampler(matrix, lam=2.0, candidates=cands)
+        assert sampler.rank_cutoff < cands.size
+        sampler.refresh()
+        all_ranks = np.arange(cands.size, dtype=np.int64)
+        for dim in range(k):
+            got = sampler._nodes_at(
+                all_ranks, np.full(cands.size, dim, dtype=np.int64)
+            )
+            want = cands[np.argsort(-matrix[cands, dim], kind="stable")]
+            np.testing.assert_array_equal(got, want)
+
+    def test_tail_sort_is_lazy_and_counted(self, rng):
+        _, sampler = self._hybrid(rng)
+        assert sampler.n_tail_sorts == 0
+        head_ranks = np.arange(sampler.rank_cutoff, dtype=np.int64)
+        sampler._nodes_at(head_ranks, np.zeros_like(head_ranks))
+        assert sampler.n_tail_sorts == 0  # head-only draws never sort the tail
+        tail_rank = np.array([sampler.rank_cutoff], dtype=np.int64)
+        sampler._nodes_at(tail_rank, np.zeros_like(tail_rank))
+        assert sampler.n_tail_sorts == 1
+        sampler._nodes_at(tail_rank, np.zeros_like(tail_rank))
+        assert sampler.n_tail_sorts == 1  # cached until the next refresh
+        sampler.refresh()
+        sampler._nodes_at(tail_rank, np.zeros_like(tail_rank))
+        assert sampler.n_tail_sorts == 2
+
+    def test_small_candidate_set_skips_hybrid(self, rng):
+        matrix = make_matrix(rng)  # n=50 < cutoff for lam=200
+        sampler = AdaptiveNoiseSampler(matrix, lam=200.0)
+        sampler.refresh()
+        assert sampler.rank_cutoff == matrix.shape[0]
+        assert sampler._tail_local is None
+        all_ranks = np.arange(matrix.shape[0], dtype=np.int64)
+        for dim in range(matrix.shape[1]):
+            got = sampler._nodes_at(
+                all_ranks, np.full(matrix.shape[0], dim, dtype=np.int64)
+            )
+            want = np.argsort(-matrix[:, dim].astype(np.float64), kind="stable")
+            np.testing.assert_array_equal(got, want)
+
+    def test_maybe_refresh_respects_interval(self, rng):
+        matrix = make_matrix(rng)
+        sampler = AdaptiveNoiseSampler(matrix, lam=5.0, refresh_interval=10)
+        sampler.maybe_refresh()  # initial refresh is forced
+        assert sampler.n_refreshes == 1
+        sampler.maybe_refresh()
+        assert sampler.n_refreshes == 1  # no steps elapsed: no-op
+        sampler.notify_step(10)
+        sampler.maybe_refresh()
+        assert sampler.n_refreshes == 2

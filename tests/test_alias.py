@@ -88,3 +88,68 @@ class TestSampling:
         # must never be returned with meaningful frequency; an exact-zero
         # weight is never returned at all.
         assert set(out.tolist()) <= positive
+
+
+class TestSampleInto:
+    def test_validates_dtype_and_shape(self):
+        table = AliasTable(np.ones(4))
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="int64"):
+            table.sample_into(rng, np.empty(8, dtype=np.int32))
+        with pytest.raises(ValueError, match="1-D"):
+            table.sample_into(rng, np.empty((2, 4), dtype=np.int64))
+
+    def test_zero_size_is_noop(self):
+        table = AliasTable(np.ones(4))
+        out = np.empty(0, dtype=np.int64)
+        assert table.sample_into(np.random.default_rng(0), out) is out
+
+    def test_fills_in_place_and_returns_buffer(self):
+        table = AliasTable(np.array([1.0, 2.0, 3.0]))
+        out = np.full(500, -1, dtype=np.int64)
+        returned = table.sample_into(np.random.default_rng(1), out)
+        assert returned is out
+        assert out.min() >= 0 and out.max() < 3
+
+    def test_zero_weight_never_sampled(self):
+        table = AliasTable(np.array([0.0, 1.0, 0.0]))
+        out = np.empty(2000, dtype=np.int64)
+        table.sample_into(np.random.default_rng(2), out)
+        assert set(out.tolist()) == {1}
+
+    def test_empirical_distribution_matches_weights(self):
+        weights = np.array([1.0, 2.0, 4.0, 8.0])
+        table = AliasTable(weights)
+        out = np.empty(60_000, dtype=np.int64)
+        table.sample_into(np.random.default_rng(42), out)
+        freq = np.bincount(out, minlength=4) / out.size
+        np.testing.assert_allclose(freq, weights / weights.sum(), atol=0.01)
+
+    def test_reproducible_given_seed(self):
+        table = AliasTable(np.arange(1, 11, dtype=float))
+        a = np.empty(200, dtype=np.int64)
+        b = np.empty(200, dtype=np.int64)
+        table.sample_into(np.random.default_rng(7), a)
+        table.sample_into(np.random.default_rng(7), b)
+        assert np.array_equal(a, b)
+
+    def test_scratch_buffers_are_reused(self):
+        table = AliasTable(np.ones(5))
+        rng = np.random.default_rng(3)
+        out = np.empty(64, dtype=np.int64)
+        table.sample_into(rng, out)
+        scratch = table._scratch_u
+        table.sample_into(rng, out)
+        assert table._scratch_u is scratch  # no per-call reallocation
+        # A larger request grows the scratch once.
+        big = np.empty(128, dtype=np.int64)
+        table.sample_into(rng, big)
+        assert table._scratch_u is not scratch
+        assert table._scratch_size == 128
+
+    def test_outputs_are_int64(self):
+        table = AliasTable(np.ones(3))
+        rng = np.random.default_rng(0)
+        assert np.asarray(table.sample(rng, size=10)).dtype == np.int64
+        out = np.empty(10, dtype=np.int64)
+        assert table.sample_into(rng, out).dtype == np.int64

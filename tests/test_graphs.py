@@ -125,6 +125,46 @@ class TestBipartiteGraphValidation:
         assert graph.adjacency_left() == [{0, 2}, {2}]
         assert graph.adjacency_right() == [{0}, set(), {0, 1}]
 
+    def test_neighbour_keys_match_adjacency(self):
+        # Same graph as test_adjacency: the composite-key form must carry
+        # exactly the information of the adjacency sets.
+        graph = BipartiteGraph(
+            name="g",
+            left_type=EntityType.USER,
+            right_type=EntityType.EVENT,
+            n_left=2,
+            n_right=3,
+            left=np.array([0, 0, 1]),
+            right=np.array([0, 2, 2]),
+            weights=np.ones(3),
+        )
+        keys, counts = graph.neighbour_keys("left")
+        assert keys.dtype == np.int64 and counts.dtype == np.int64
+        # left keys: context * n_right + neighbour for {0:{0,2}, 1:{2}}
+        np.testing.assert_array_equal(keys, [0, 2, 5])
+        np.testing.assert_array_equal(counts, [2, 1])
+        rkeys, rcounts = graph.neighbour_keys("right")
+        # right keys: context * n_left + neighbour for {0:{0}, 1:{}, 2:{0,1}}
+        np.testing.assert_array_equal(rkeys, [0, 4, 5])
+        np.testing.assert_array_equal(rcounts, [1, 0, 2])
+        with pytest.raises(ValueError):
+            graph.neighbour_keys("middle")
+
+    def test_neighbour_keys_deduplicate_parallel_edges(self):
+        graph = BipartiteGraph(
+            name="g",
+            left_type=EntityType.USER,
+            right_type=EntityType.EVENT,
+            n_left=1,
+            n_right=2,
+            left=np.array([0, 0, 0]),
+            right=np.array([1, 1, 0]),
+            weights=np.ones(3),
+        )
+        keys, counts = graph.neighbour_keys("left")
+        np.testing.assert_array_equal(keys, [0, 1])
+        np.testing.assert_array_equal(counts, [2])  # distinct neighbours
+
 
 class TestUserEventGraph:
     def test_all_attendances_become_edges(self, small_ebsn):

@@ -69,3 +69,53 @@ class TestSpeedupCurve:
             r.n_workers for r in results
         ] == [1, 1]
         assert all(r.total_steps == 10_000 for r in results)
+
+
+class TestChunkedAllocation:
+    def test_steps_by_worker_sums_to_budget(self, tiny_bundle):
+        config = TrainerConfig(dim=8, seed=3)
+        result = train_parallel(tiny_bundle, config, 20_000, 2, seed=3)
+        assert len(result.steps_by_worker) == result.n_workers
+        assert sum(result.steps_by_worker) == 20_000
+        assert all(s >= 0 for s in result.steps_by_worker)
+
+    def test_single_worker_reports_full_budget(self, tiny_bundle):
+        config = TrainerConfig(dim=8, seed=3)
+        result = train_parallel(tiny_bundle, config, 5_000, 1, seed=3)
+        assert result.steps_by_worker == [5_000]
+
+    def test_chunk_steps_validation(self, tiny_bundle):
+        config = TrainerConfig(dim=8, seed=3)
+        with pytest.raises(ValueError):
+            train_parallel(tiny_bundle, config, 1_000, 2, chunk_steps=0)
+
+    def test_explicit_chunk_steps_still_covers_budget(self, tiny_bundle):
+        config = TrainerConfig(dim=8, seed=3, batch_size=128)
+        result = train_parallel(
+            tiny_bundle, config, 10_000, 2, seed=3, chunk_steps=300
+        )
+        assert sum(result.steps_by_worker) == 10_000
+
+
+class TestParallelProfiling:
+    def test_profile_merged_across_workers(self, tiny_bundle):
+        config = TrainerConfig(dim=8, seed=3)
+        result = train_parallel(
+            tiny_bundle, config, 10_000, 2, seed=3, profile=True
+        )
+        assert result.profile is not None
+        assert result.profile["counters"]["steps_done"] == 10_000
+        assert result.profile["phases"]  # at least one timed phase
+
+    def test_profile_defaults_to_none(self, tiny_bundle):
+        config = TrainerConfig(dim=8, seed=3)
+        result = train_parallel(tiny_bundle, config, 2_000, 1, seed=3)
+        assert result.profile is None
+
+    def test_single_worker_profile(self, tiny_bundle):
+        config = TrainerConfig(dim=8, seed=3)
+        result = train_parallel(
+            tiny_bundle, config, 2_000, 1, seed=3, profile=True
+        )
+        assert result.profile is not None
+        assert result.profile["counters"]["steps_done"] == 2_000

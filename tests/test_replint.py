@@ -216,6 +216,64 @@ class TestRep004:
         assert codes(src, CORE_PATH, ["REP004"]) == []
 
 
+class TestRep004Strict:
+    """Strict-dtype mode for the sampler/alias boundary files."""
+
+    ALIAS_PATH = "src/repro/core/alias.py"
+    SAMPLERS_PATH = "src/repro/core/samplers.py"
+
+    def test_private_functions_are_covered(self):
+        src = (
+            "import numpy as np\n"
+            "def _f(x):\n"
+            "    return np.asarray(x)\n"
+        )
+        assert codes(src, self.ALIAS_PATH, ["REP004"]) == ["REP004"]
+
+    def test_allocators_are_covered(self):
+        src = (
+            "import numpy as np\n"
+            "def _f(n):\n"
+            "    a = np.empty(n)\n"
+            "    b = np.zeros(n)\n"
+            "    c = np.ones(n)\n"
+            "    d = np.full(n, 7)\n"
+            "    return a, b, c, d\n"
+        )
+        assert codes(src, self.SAMPLERS_PATH, ["REP004"]) == ["REP004"] * 4
+
+    def test_pinned_allocators_are_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def _f(n):\n"
+            "    a = np.empty(n, dtype=np.int64)\n"
+            "    b = np.zeros(n, np.float64)\n"
+            "    c = np.full(n, 7, np.int64)\n"
+            "    return a, b, c\n"
+        )
+        assert codes(src, self.ALIAS_PATH, ["REP004"]) == []
+
+    def test_module_level_code_is_covered(self):
+        src = "import numpy as np\nSCRATCH = np.empty(8)\n"
+        assert codes(src, self.ALIAS_PATH, ["REP004"]) == ["REP004"]
+
+    def test_allocators_not_checked_outside_strict_files(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n: int) -> object:\n"
+            "    return np.empty(n)\n"
+        )
+        assert codes(src, CORE_PATH, ["REP004"]) == []
+
+    def test_real_boundary_modules_are_clean(self):
+        paths = [
+            REPO_ROOT / "src/repro/core/alias.py",
+            REPO_ROOT / "src/repro/core/samplers.py",
+        ]
+        violations = lint_paths([str(p) for p in paths], select=["REP004"])
+        assert violations == []
+
+
 # ----------------------------------------------------------------------
 # REP005 — embedding mutation discipline
 # ----------------------------------------------------------------------

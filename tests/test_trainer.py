@@ -115,13 +115,21 @@ class TestTraining:
         assert trainer.embeddings.users.min() < 0.0
 
     def test_callback_fires_at_requested_interval(self, tiny_bundle):
-        trainer = JointTrainer(tiny_bundle, TrainerConfig(dim=8, seed=3))
+        # Callbacks fire at batch boundaries (passive observation), so use
+        # a batch size that divides the interval for exact step values.
+        trainer = JointTrainer(tiny_bundle, TrainerConfig(dim=8, seed=3, batch_size=125))
         seen = []
         trainer.train(1000, callback=lambda s, t: seen.append(s), callback_every=250)
         assert seen == [250, 500, 750, 1000]
 
+    def test_callback_fires_at_next_boundary_when_unaligned(self, tiny_bundle):
+        trainer = JointTrainer(tiny_bundle, TrainerConfig(dim=8, seed=3, batch_size=256))
+        seen = []
+        trainer.train(1000, callback=lambda s, t: seen.append(s), callback_every=250)
+        assert seen == [256, 512, 768]
+
     def test_log_every_records_entries(self, tiny_bundle):
-        trainer = JointTrainer(tiny_bundle, TrainerConfig(dim=8, seed=3))
+        trainer = JointTrainer(tiny_bundle, TrainerConfig(dim=8, seed=3, batch_size=100))
         trainer.train(600, log_every=200)
         assert [e.step for e in trainer.log] == [200, 400, 600]
         for entry in trainer.log:

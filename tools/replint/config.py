@@ -40,6 +40,16 @@ class LintConfig:
         "repro/contracts.py",
     )
 
+    #: Files at the sampler/alias boundary whose indices feed the
+    #: gradient kernels directly: REP004 runs in *strict* mode here —
+    #: every function (public or private) must pin dtypes, and the
+    #: allocator constructors (np.empty/zeros/ones/full) are checked in
+    #: addition to the array converters.
+    strict_dtype_prefixes: tuple[str, ...] = (
+        "repro/core/alias.py",
+        "repro/core/samplers.py",
+    )
+
     #: Packages whose public symbols form a documented operational
     #: surface: REP006 requires docstrings (module, classes, functions)
     #: so every serving symbol states its thread-safety and deadline
@@ -104,6 +114,12 @@ class LintConfig:
     def is_typed_api(self, path: str) -> bool:
         return not self.is_test_file(path) and self._suffix_match(
             path, self.typed_api_prefixes
+        )
+
+    def is_strict_dtype(self, path: str) -> bool:
+        """REP004 strict mode: all functions + allocators checked."""
+        return not self.is_test_file(path) and self._suffix_match(
+            path, self.strict_dtype_prefixes
         )
 
     def requires_docstrings(self, path: str) -> bool:

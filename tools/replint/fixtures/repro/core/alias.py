@@ -1,0 +1,22 @@
+"""Seeded REP004 strict-mode violation fixture for replint's self-check.
+
+This file is *meant to be wrong*.  Its path suffix (``repro/core/alias.py``)
+puts it in REP004's strict-dtype scope, where *every* function — private
+helpers included — must pin dtypes, and the allocator constructors
+(``np.empty``/``zeros``/``ones``/``full``) are checked alongside the
+array converters.  It is never imported.
+"""
+
+import numpy as np
+
+
+def _private_scratch(n: int) -> np.ndarray:
+    return np.empty(n)  # REP004 strict: allocator without dtype
+
+
+def _private_convert(values) -> np.ndarray:  # REP003 exempt (private)...
+    return np.asarray(values)  # ...but REP004 strict still fires
+
+
+def build_table(n: int) -> np.ndarray:
+    return np.full(n, 1.0)  # REP004 strict: allocator without dtype

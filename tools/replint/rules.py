@@ -240,40 +240,74 @@ class UnpinnedDtype:
     code = "REP004"
     summary = (
         "np.asarray/np.array inside public API functions must pin an "
-        "explicit dtype"
+        "explicit dtype (strict files: every function, plus "
+        "np.empty/zeros/ones/full)"
     )
 
-    _constructors = ("array", "asarray", "ascontiguousarray", "asfortranarray")
+    #: Converter/allocator name -> positional arg count at which the
+    #: dtype has been supplied positionally (np.array(x, dtype),
+    #: np.full(shape, fill, dtype), ...).
+    _constructors = {
+        "array": 2,
+        "asarray": 2,
+        "ascontiguousarray": 2,
+        "asfortranarray": 2,
+    }
+    #: Allocators additionally checked in strict-dtype files — their
+    #: outputs default to float64, so an unpinned np.empty silently
+    #: changes the index dtype contract at the sampler boundary.
+    _allocators = {"empty": 2, "zeros": 2, "ones": 2, "full": 3}
 
     def applies(self, path: str, config: LintConfig) -> bool:
-        return config.is_typed_api(path)
+        return config.is_typed_api(path) or config.is_strict_dtype(path)
+
+    def _check_calls(
+        self,
+        root: ast.AST,
+        path: str,
+        where: str,
+        checked: "dict[str, int]",
+    ) -> Iterator[Violation]:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if (
+                chain is None
+                or len(chain) != 2
+                or not _is_numpy_root(chain[0])
+                or chain[1] not in checked
+            ):
+                continue
+            has_dtype = len(node.args) >= checked[chain[1]] or any(
+                kw.arg == "dtype" for kw in node.keywords
+            )
+            if not has_dtype:
+                yield _violation(
+                    path,
+                    node,
+                    self.code,
+                    f"np.{chain[1]} {where} must pin an explicit dtype",
+                )
 
     def check(
         self, tree: ast.Module, path: str, config: LintConfig
     ) -> Iterator[Violation]:
+        if config.is_strict_dtype(path):
+            # Strict mode: the whole module — private helpers and
+            # module-level code included — and allocators too.
+            checked = {**self._constructors, **self._allocators}
+            yield from self._check_calls(
+                tree, path, "in a strict-dtype module", checked
+            )
+            return
         for func, _ in _public_functions(tree):
-            for node in ast.walk(func):
-                if not isinstance(node, ast.Call):
-                    continue
-                chain = _attr_chain(node.func)
-                if (
-                    chain is None
-                    or len(chain) != 2
-                    or not _is_numpy_root(chain[0])
-                    or chain[1] not in self._constructors
-                ):
-                    continue
-                has_dtype = len(node.args) >= 2 or any(
-                    kw.arg == "dtype" for kw in node.keywords
-                )
-                if not has_dtype:
-                    yield _violation(
-                        path,
-                        node,
-                        self.code,
-                        f"np.{chain[1]} at the public API boundary "
-                        f"(in '{func.name}') must pin an explicit dtype",
-                    )
+            yield from self._check_calls(
+                func,
+                path,
+                f"at the public API boundary (in '{func.name}')",
+                self._constructors,
+            )
 
 
 # ----------------------------------------------------------------------
