@@ -6,7 +6,7 @@ latency-percentile trajectory (p50/p95/p99 overall and per degradation
 rung), shed counters, and the zero-silent-drop accounting check
 (``submitted == answered + shed``, always).
 
-Two generator modes:
+Three generator modes:
 
 * **closed loop** (default): ``--workers`` threads each issue the next
   request the moment the previous one completes — throughput-bound,
@@ -16,6 +16,18 @@ Two generator modes:
   :class:`~repro.serving.lifecycle.AdmissionController`, and shed with
   reason ``queue_full`` when it saturates — latency-under-overload, the
   regime the degradation ladder exists for.
+* **capacity** (``--mode capacity --shards 1,2,4``): the million-user
+  scale-out curve.  Builds (or reuses, via ``--store-dir``) a frozen
+  :class:`~repro.core.store.MemmapStore` sized from ``--preset`` (e.g.
+  ``beijing-xl``, >= 1M users), fills it chunk-by-chunk, then for each
+  shard count drives a closed loop against a
+  :class:`~repro.serving.ShardedServingEngine` mapping the store
+  read-only — the embedding matrices stay ``np.memmap`` views end to
+  end, never materialised wholesale in the serving process.  Emits the
+  rps-vs-shard-count curve as ``BENCH_sharded_load.json``;
+  ``--assert-merge-exact`` additionally compares every sampled sharded
+  top-n bit-for-bit against a single-index reference engine (the CI
+  smoke runs this on the ``tiny`` preset with 2 shards).
 
 A warmup phase (excluded from all reported stats) trains the
 :class:`~repro.serving.lifecycle.LadderPolicy` EWMA estimates, so the
@@ -41,6 +53,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -48,11 +61,15 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.store import MANIFEST_NAME, MemmapStore
+from repro.data.presets import get_preset
+from repro.ebsn.graphs import EntityType
 from repro.serving import (
     AdmissionController,
     RequestContext,
     RequestOutcome,
     ServingEngine,
+    ShardedServingEngine,
     install,
     parse_faults,
 )
@@ -158,6 +175,238 @@ def run_open_loop(
     return done
 
 
+def open_capacity_store(
+    directory: Path, *, n_users: int, n_events: int, dim: int, seed: int
+) -> MemmapStore:
+    """A frozen read-only store at ``directory``, creating it if absent.
+
+    Creation never materialises a full matrix: :meth:`fill_random`
+    writes bounded chunks straight into the mapped files.  An existing
+    store is reused as-is (re-runs skip the fill), after checking its
+    shape matches the requested scale.
+    """
+    if not (directory / MANIFEST_NAME).exists():
+        store = MemmapStore.create(
+            directory,
+            {EntityType.USER: n_users, EntityType.EVENT: n_events},
+            dim,
+        )
+        store.fill_random(rng=np.random.default_rng(seed))
+        store.freeze()
+    ro = MemmapStore.open(directory)
+    counts = ro.entity_counts()
+    if (
+        counts.get(EntityType.USER) != n_users
+        or counts.get(EntityType.EVENT) != n_events
+        or ro.dim != dim
+    ):
+        raise SystemExit(
+            f"store at {directory} is {counts} dim={ro.dim}, expected "
+            f"users={n_users} events={n_events} dim={dim} — pass a fresh "
+            "--store-dir"
+        )
+    return ro
+
+
+def run_capacity_point(
+    engine: ShardedServingEngine,
+    user_ids: np.ndarray,
+    *,
+    n: int,
+    workers: int,
+) -> tuple[float, int]:
+    """Closed-loop full-exact queries; returns (wall_s, answered)."""
+    cursor = {"i": 0}
+    lock = threading.Lock()
+
+    def worker() -> int:
+        mine = 0
+        while True:
+            with lock:
+                i = cursor["i"]
+                if i >= user_ids.size:
+                    return mine
+                cursor["i"] = i + 1
+            engine.recommend(int(user_ids[i]), n)
+            mine += 1
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        answered = sum(pool.map(lambda _: worker(), range(workers)))
+    return time.perf_counter() - t0, answered
+
+
+def check_merge_exact(
+    reference: ServingEngine,
+    engine: ShardedServingEngine,
+    sample_users: np.ndarray,
+    n: int,
+) -> list[str]:
+    """Bit-exactness of sharded top-n vs the single-index engine."""
+    failures: list[str] = []
+    for user in sample_users.tolist():
+        ref = reference.query(int(user), n)
+        got = engine.query(int(user), n)
+        if not (
+            np.array_equal(ref.pair_indices, got.pair_indices)
+            and np.array_equal(ref.scores, got.scores)
+        ):
+            failures.append(
+                f"user {user}: sharded[{engine.n_shards}] top-{n} diverges "
+                f"from the single-index reference"
+            )
+    return failures
+
+
+def run_capacity(args: argparse.Namespace) -> int:
+    """The rps-vs-shard-count curve over the memmap store."""
+    if args.preset:
+        cfg = get_preset(args.preset)
+        n_users, n_events = cfg.n_users, cfg.n_events
+    else:
+        n_users, n_events = args.users, args.events
+    shard_counts = sorted({int(s) for s in args.shards.split(",")})
+
+    tmp: tempfile.TemporaryDirectory[str] | None = None
+    if args.store_dir is not None:
+        store_dir = Path(args.store_dir)
+    else:
+        tmp = tempfile.TemporaryDirectory(prefix="capacity-store-")
+        store_dir = Path(tmp.name) / "store"
+    try:
+        t0 = time.perf_counter()
+        store = open_capacity_store(
+            store_dir,
+            n_users=n_users,
+            n_events=n_events,
+            dim=args.dim,
+            seed=args.seed,
+        )
+        store_s = time.perf_counter() - t0
+        emb = store.embeddings()
+        user_vectors, event_vectors = emb.users, emb.events
+        # The scale-out contract: engines serve straight off the mapped
+        # files; nothing below may copy the full matrices.
+        assert isinstance(user_vectors, np.memmap), "store must stay mapped"
+        candidates = np.arange(
+            min(args.candidate_events, n_events), dtype=np.int64
+        )
+        print(
+            f"capacity: store {n_users:,} users x {n_events:,} events "
+            f"dim={args.dim} ({store.nbytes() / 1e6:.0f} MB on disk, "
+            f"ready in {store_s:.1f}s), {candidates.size} candidate "
+            f"events, top-k={args.top_k}, shards {shard_counts}"
+        )
+
+        rng = np.random.default_rng(args.seed + 1)
+        load_users = rng.integers(0, n_users, size=args.requests)
+        sample_users = np.unique(load_users[: args.exact_samples])
+
+        reference: ServingEngine | None = None
+        if args.assert_merge_exact:
+            reference = ServingEngine(
+                user_vectors,
+                event_vectors,
+                candidates,
+                top_k_events=args.top_k,
+                backend=args.backend,
+                cache_size=0,
+            ).warm()
+
+        curve = []
+        failures: list[str] = []
+        for n_shards in shard_counts:
+            engine = ShardedServingEngine(
+                user_vectors,
+                event_vectors,
+                candidates,
+                n_shards=n_shards,
+                top_k_events=args.top_k,
+                backend=args.backend,
+                cache_size=0,
+            )
+            t0 = time.perf_counter()
+            engine.warm()
+            build_s = time.perf_counter() - t0
+            if reference is not None:
+                failures.extend(
+                    check_merge_exact(reference, engine, sample_users, args.n)
+                )
+                engine.metrics.reset()
+            wall_s, answered = run_capacity_point(
+                engine, load_users, n=args.n, workers=args.workers
+            )
+            latency = engine.metrics.percentiles()
+            shard_pairs = [s.n_candidate_pairs for s in engine.shards]
+            point = {
+                "shards": n_shards,
+                "build_s": build_s,
+                "wall_s": wall_s,
+                "requests": answered,
+                "rps": answered / wall_s if wall_s > 0 else 0.0,
+                "latency_s": latency,
+                "n_candidate_pairs": engine.n_candidate_pairs,
+                "pairs_per_shard": shard_pairs,
+                "max_shard_index_bytes": max(
+                    s.memory_bytes() for s in engine.shards
+                ),
+                "total_index_bytes": engine.memory_bytes(),
+            }
+            engine.close()
+            curve.append(point)
+            print(
+                f"  shards={n_shards}: build {build_s:.1f}s, "
+                f"{answered} requests in {wall_s:.2f}s "
+                f"({point['rps']:.1f} rps, p50 "
+                f"{latency['p50'] * 1000:.1f}ms p99 "
+                f"{latency['p99'] * 1000:.1f}ms), max shard index "
+                f"{point['max_shard_index_bytes'] / 1e6:.0f} MB"
+            )
+
+        report = {
+            "bench": "sharded_load",
+            "config": {
+                "preset": args.preset or None,
+                "users": n_users,
+                "events": n_events,
+                "dim": args.dim,
+                "candidate_events": int(candidates.size),
+                "top_k_events": args.top_k,
+                "backend": args.backend,
+                "requests": args.requests,
+                "n": args.n,
+                "workers": args.workers,
+                "shard_counts": shard_counts,
+                "seed": args.seed,
+            },
+            "store": {
+                "bytes": store.nbytes(),
+                "dtype": "float32",
+                "memmap": True,
+                "embedding_version": store.embedding_version,
+            },
+            "merge_exact_checked": bool(
+                args.assert_merge_exact and sample_users.size
+            ),
+            "merge_exact_failures": failures,
+            "curve": curve,
+        }
+        args.out.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"  wrote {args.out}")
+        if failures:
+            print(
+                "FAIL: sharded merge diverged: " + "; ".join(failures[:5]),
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
 def summarise(
     engine: ServingEngine,
     outcomes: list[RequestOutcome],
@@ -214,7 +463,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
     )
-    parser.add_argument("--mode", choices=("closed", "open"), default="closed")
+    parser.add_argument(
+        "--mode", choices=("closed", "open", "capacity"), default="closed"
+    )
     parser.add_argument("--backend", default="ta")
     parser.add_argument("--users", type=int, default=200)
     parser.add_argument("--events", type=int, default=400)
@@ -242,7 +493,48 @@ def main(argv: list[str] | None = None) -> int:
         help='fault plan, e.g. "backend.query:delay=0.05" (REPRO_FAULTS grammar)',
     )
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_serving_load.json")
+        "--out", type=Path, default=None,
+        help="output JSON (default: BENCH_serving_load.json, or "
+             "BENCH_sharded_load.json in capacity mode)",
+    )
+    capacity = parser.add_argument_group("capacity mode")
+    capacity.add_argument(
+        "--preset",
+        default="",
+        help="size the store from a named dataset preset (e.g. beijing-xl) "
+             "instead of --users/--events",
+    )
+    capacity.add_argument(
+        "--shards", default="1,2,4", help="comma-separated shard counts"
+    )
+    capacity.add_argument(
+        "--candidate-events",
+        type=int,
+        default=384,
+        help="served candidate-event window (the upcoming-events subset)",
+    )
+    capacity.add_argument(
+        "--top-k",
+        type=int,
+        default=4,
+        help="per-partner top-k event pruning for the served index",
+    )
+    capacity.add_argument(
+        "--store-dir",
+        default=None,
+        help="reuse/persist the memmap store here (default: temp dir)",
+    )
+    capacity.add_argument(
+        "--exact-samples",
+        type=int,
+        default=16,
+        help="users spot-checked by --assert-merge-exact",
+    )
+    capacity.add_argument(
+        "--assert-merge-exact",
+        action="store_true",
+        help="exit non-zero unless every sampled sharded top-n is "
+             "bit-identical to a single-index reference engine",
     )
     parser.add_argument(
         "--assert-p99-within-budget",
@@ -255,6 +547,14 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero unless submitted == answered + shed",
     )
     args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = Path(
+            "BENCH_sharded_load.json"
+            if args.mode == "capacity"
+            else "BENCH_serving_load.json"
+        )
+    if args.mode == "capacity":
+        return run_capacity(args)
     budget_s = args.budget_ms / 1000.0
 
     engine = build_engine(args)

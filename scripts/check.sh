@@ -19,6 +19,13 @@
 #                preset, asserting the batched train() path is at least
 #                3x the single-step reference path
 #                (benchmarks/train_harness.py; see DESIGN.md §9)
+#   7. sharded smoke — the capacity mode of the load harness on the
+#                tiny preset with 2 shards over a freshly frozen memmap
+#                store, asserting every sampled sharded top-n is
+#                bit-identical to a single-index reference engine
+#                (writes BENCH_sharded_smoke.json; the committed
+#                BENCH_sharded_load.json is the offline beijing-xl run
+#                and is never overwritten here)
 #
 # ruff and mypy are skipped with a warning when not installed (minimal
 # containers); when present, any finding fails the gate.  Fails fast on
@@ -64,3 +71,9 @@ PYTHONPATH=src:.${PYTHONPATH:+:$PYTHONPATH} python benchmarks/train_harness.py \
     --preset tiny --reference-steps 1500 --train-steps 30000 \
     --hogwild-steps 15000 --workers 1 2 \
     --assert-speedup 3.0 --out BENCH_training_smoke.json
+
+echo "== sharded merge smoke =="
+PYTHONPATH=src:.${PYTHONPATH:+:$PYTHONPATH} python benchmarks/load_harness.py \
+    --mode capacity --preset tiny --shards 1,2 --candidate-events 40 \
+    --requests 64 --workers 2 --exact-samples 16 \
+    --assert-merge-exact --out BENCH_sharded_smoke.json

@@ -4,10 +4,16 @@ The paper trains GEM with asynchronous stochastic gradient descent over
 multiple threads (following Recht et al.'s Hogwild and LINE) and reports
 near-linear speedup with stable accuracy (Fig 6).  CPython threads would
 serialise the NumPy-light update loop on the GIL, so this module
-implements the same algorithm with *processes* over shared-memory
-embedding matrices: workers update the matrices concurrently without
-locks, exactly Hogwild's data-race-tolerant regime (updates are sparse —
-each step touches 2 + 2M rows).
+implements the same algorithm with *processes* over **one on-disk copy**
+of the embedding matrices: the parent materialises the initial draw into
+a :class:`~repro.core.store.MemmapStore` and forked workers inherit
+``np.memmap`` views of the same files (``MAP_SHARED`` pages), so
+concurrent updates are visible to every worker and the parent without
+per-worker copies or locks — exactly Hogwild's data-race-tolerant regime
+(updates are sparse: each step touches 2 + 2M rows).  Pass ``store_dir``
+to keep the store after training and :meth:`~repro.core.store.MemmapStore.freeze`
+it for the sharded serving path; by default a temporary store is used
+and the trained matrices are copied out before cleanup.
 
 Work distribution is **chunked**, not pre-split: workers repeatedly grab
 ``chunk_steps`` steps off a shared atomic counter until the budget is
@@ -26,13 +32,15 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import tempfile
 from dataclasses import dataclass, field
-from multiprocessing import shared_memory
+from pathlib import Path
 from typing import Any
 
 import numpy as np
 
 from repro.core.embeddings import EmbeddingSet
+from repro.core.store import MemmapStore
 from repro.core.trainer import JointTrainer, TrainerConfig
 from repro.ebsn.graphs import GraphBundle
 from repro.utils.profiling import Profiler, merge_profiles
@@ -54,6 +62,12 @@ class ParallelTrainingResult:
     #: was started with ``profile=True``).  Shape matches
     #: :meth:`JointTrainer.profile_report`.
     profile: dict[str, Any] | None = None
+    #: The shared on-disk store the run trained into — only set when the
+    #: caller passed ``store_dir`` (then ``embeddings`` are live memmap
+    #: views of it, still in the ``write`` state: ``freeze()`` it before
+    #: serving).  ``None`` for temporary-store runs, whose matrices are
+    #: copied out before cleanup.
+    store: MemmapStore | None = None
 
 
 def _fork_available() -> bool:
@@ -76,21 +90,27 @@ def train_parallel(
     seed: "int | np.random.Generator | None" = None,
     profile: bool = False,
     chunk_steps: int | None = None,
+    store_dir: "str | Path | None" = None,
 ) -> ParallelTrainingResult:
     """Train GEM with ``n_workers`` lock-free Hogwild workers.
 
     Workers pull chunks of ``chunk_steps`` steps (default: ~8 chunks per
     worker, at least one batch) from a shared counter and run the
-    standard :class:`JointTrainer` loop against embedding matrices backed
-    by ``multiprocessing.shared_memory``, so concurrent updates are
-    visible to all workers (and to the parent) without copies or locks.
+    standard :class:`JointTrainer` loop against ``np.memmap`` views of a
+    shared :class:`~repro.core.store.MemmapStore` — one on-disk copy of
+    the matrices, inherited across ``fork``, so concurrent updates are
+    visible to all workers (and to the parent) without per-worker copies
+    or locks.
+
+    ``store_dir`` keeps the store at that path after training (the
+    result's ``embeddings`` are then live views and ``result.store`` is
+    set, left in the ``write`` state so the caller can ``freeze()`` it
+    for serving); by default a temporary directory is used and the
+    trained matrices are copied out before it is removed.
 
     With ``profile=True`` each worker instruments its trainer and the
     result carries the merged phase breakdown (at the usual profiling
     cost — leave it off for speedup measurements).
-
-    Returns the trained embeddings (copied out of shared memory) plus
-    timing for speedup measurements.
     """
     import time
 
@@ -114,33 +134,42 @@ def train_parallel(
     )
 
     if n_workers == 1 or not _fork_available():
+        store = (
+            MemmapStore.from_embeddings(Path(store_dir), init)
+            if store_dir is not None
+            else None
+        )
+        train_set = store.embeddings() if store is not None else init
         profiler = Profiler(enabled=True) if profile else None
         start = time.perf_counter()
         trainer = JointTrainer(
-            bundle, config, embeddings=init, seed=rng, profiler=profiler
+            bundle, config, embeddings=train_set, seed=rng, profiler=profiler
         )
         trainer.train(n_steps)
         wall = time.perf_counter() - start
+        if store is not None:
+            store.flush()
         return ParallelTrainingResult(
-            embeddings=init,
+            embeddings=train_set,
             n_workers=1,
             total_steps=n_steps,
             wall_seconds=wall,
             steps_by_worker=[n_steps],
             profile=trainer.profile_report() if profile else None,
+            store=store,
         )
 
-    # Move the matrices into shared memory.
-    blocks: list[shared_memory.SharedMemory] = []
-    shared_matrices = {}
+    # One on-disk copy of the matrices; forked workers inherit the
+    # MAP_SHARED memmap views, so nothing is pickled or duplicated.
+    tmp: tempfile.TemporaryDirectory[str] | None = None
+    if store_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="hogwild-store-")
+        directory = Path(tmp.name) / "store"
+    else:
+        directory = Path(store_dir)
     try:
-        for etype, matrix in init.matrices.items():
-            shm = shared_memory.SharedMemory(create=True, size=max(matrix.nbytes, 1))
-            blocks.append(shm)
-            view = np.ndarray(matrix.shape, dtype=matrix.dtype, buffer=shm.buf)
-            view[:] = matrix
-            shared_matrices[etype] = view
-        shared_set = EmbeddingSet(matrices=shared_matrices, dim=config.dim)
+        store = MemmapStore.from_embeddings(directory, init)
+        shared_set = store.embeddings()
 
         worker_rngs = spawn_rngs(rng, n_workers)
         ctx = multiprocessing.get_context("fork")
@@ -198,10 +227,8 @@ def train_parallel(
         if profile:
             merged = merge_profiles(worker_profiles)
 
-        result = EmbeddingSet(
-            matrices={k: v.copy() for k, v in shared_matrices.items()},
-            dim=config.dim,
-        )
+        store.flush()
+        result = shared_set if store_dir is not None else shared_set.copy()
         return ParallelTrainingResult(
             embeddings=result,
             n_workers=n_workers,
@@ -209,14 +236,11 @@ def train_parallel(
             wall_seconds=wall,
             steps_by_worker=steps_by_worker,
             profile=merged,
+            store=store if store_dir is not None else None,
         )
     finally:
-        for shm in blocks:
-            shm.close()
-            try:
-                shm.unlink()
-            except FileNotFoundError:
-                pass
+        if tmp is not None:
+            tmp.cleanup()
 
 
 def speedup_curve(

@@ -99,6 +99,34 @@ PRESETS: dict[str, SyntheticConfig] = {
         hidden_trait_strength=1.0,
         with_ratings=True,
     ),
+    # Million-user scale-out target (ROADMAP item 1): beijing-full
+    # ratios scaled ~16x so the user base crosses 1M.  At this size the
+    # embedding matrices only fit the serving path through the
+    # memory-mapped store (repro.core.store) — the sharded capacity
+    # benchmark (benchmarks/load_harness.py --mode capacity) consumes
+    # the *counts* of this preset and fills the store with synthetic
+    # non-negative embeddings chunk-by-chunk; generating the full EBSN
+    # interaction graph at this scale is an offline-only job.
+    "beijing-xl": SyntheticConfig(
+        name="beijing-xl",
+        n_users=1_050_000,
+        n_events=212_000,
+        n_venues=52_000,
+        n_topics=32,
+        n_geo_centers=16,
+        target_attendances=18_000_000,
+        target_friendships=14_000_000,
+        horizon_days=2600,
+        topic_word_ratio=0.45,
+        offtopic_word_ratio=0.2,
+        words_per_topic=300,
+        words_per_event=40,
+        n_common_words=1500,
+        interest_sharpness=1.2,
+        hidden_trait_dim=8,
+        hidden_trait_strength=1.0,
+        with_ratings=True,
+    ),
     "shanghai-full": SyntheticConfig(
         name="shanghai-full",
         n_users=36440,

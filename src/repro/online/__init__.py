@@ -11,9 +11,11 @@ from repro.online.persistence import (
     load_engine,
     load_pair_space,
     load_recommender,
+    load_store_engine,
     save_engine,
     save_pair_space,
     save_recommender,
+    save_store_engine,
 )
 from repro.online.recommender import (
     EventPartnerRecommender,
@@ -44,9 +46,11 @@ __all__ = [
     "load_engine",
     "load_pair_space",
     "load_recommender",
+    "load_store_engine",
     "save_engine",
     "save_pair_space",
     "save_recommender",
+    "save_store_engine",
     "query_vector",
     "recommend_events",
     "recommend_joint",

@@ -144,7 +144,17 @@ class BruteForceIndex:
             )
         k = min(n, scores.shape[0])
         top = np.argpartition(-scores, k - 1)[:k]
-        order = top[np.lexsort((top, -scores[top]))]
+        # argpartition picks an *arbitrary* subset of candidates tied at
+        # the k-th score; the canonical order (descending score, then
+        # ascending pair index) requires the smallest-index ties, so widen
+        # the selection to every candidate matching the boundary score
+        # before the final lexsort + truncation.  Keeps single-index,
+        # TA, and sharded-merge results bit-identical under ties.
+        if k < scores.shape[0]:
+            boundary = scores[top].min()
+            if np.isfinite(boundary):
+                top = np.flatnonzero(scores >= boundary)
+        order = top[np.lexsort((top, -scores[top]))][:k]
         order = order[np.isfinite(scores[order])]
         return RetrievalResult(
             pair_indices=order.astype(np.int64),

@@ -12,6 +12,15 @@ Every artefact carries the **embedding version** it was materialised
 from (see :attr:`repro.online.transform.PairSpace.version`), so replicas
 can match a shipped index against the embeddings that produced it and
 refuse to mix versions.
+
+Store-backed engines (the million-user path) persist differently:
+:func:`save_store_engine` writes only the candidate sets and config —
+the embedding matrices stay in the frozen
+:class:`~repro.core.store.MemmapStore` the engine maps, referenced by
+directory.  :func:`load_store_engine` re-opens that store read-only and
+**refuses** both corrupted stores (bad manifest, truncated ``.dat``
+files — the store's own open-time validation) and stale artefacts whose
+recorded embedding version no longer matches the store's.
 """
 
 from __future__ import annotations
@@ -21,13 +30,16 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.store import MemmapStore
 from repro.online.recommender import EventPartnerRecommender
 from repro.online.transform import PairSpace
 from repro.serving.engine import ServingEngine
+from repro.serving.sharded import ShardedServingEngine
 
 _FORMAT_KEY = "__pair_space_format__"
 _FORMAT_VERSION = 1
 _ENGINE_FORMAT_KEY = "__serving_engine_format__"
+_STORE_ENGINE_FORMAT_KEY = "__store_engine_format__"
 
 
 def save_pair_space(space: PairSpace, path: "str | Path") -> Path:
@@ -196,3 +208,133 @@ def _restore_version(engine: ServingEngine, version: int) -> None:
     engine._version = int(version)
     if engine.is_built:
         engine.space.version = int(version)
+
+
+def save_store_engine(
+    engine: "ServingEngine | ShardedServingEngine",
+    store: MemmapStore,
+    path: "str | Path",
+) -> Path:
+    """Persist a store-backed engine *by reference* to its memmap store.
+
+    Unlike :func:`save_engine`, the embedding matrices are **not**
+    copied into the artefact — at a million users they already live in
+    ``store``'s frozen mapped files, and every serving replica maps that
+    one on-disk copy.  The artefact records the candidate sets, the
+    engine config (including shard count for a
+    :class:`~repro.serving.sharded.ShardedServingEngine`), the store
+    directory, and the store's stamped embedding version, which
+    :func:`load_store_engine` enforces.
+
+    The store must be frozen (serving state); a still-writable store has
+    no stable embedding version to pin the artefact to.
+    """
+    if store.state != "frozen":
+        raise ValueError(
+            f"store at {store.directory} is in state {store.state!r}; "
+            "freeze() it before persisting a serving artefact"
+        )
+    sharded = isinstance(engine, ShardedServingEngine)
+    single = engine.shards[0] if sharded else engine
+    config = {
+        "backend": engine.backend_name,
+        "top_k_events": engine.top_k_events,
+        "cache_size": single.cache_size,
+        "n_shards": engine.n_shards if sharded else None,
+        "store_directory": str(store.directory),
+        "format_version": _FORMAT_VERSION,
+        "embedding_version": store.embedding_version,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        candidate_events=np.asarray(engine.candidate_events, dtype=np.int64),
+        candidate_partners=np.asarray(
+            engine.candidate_partners, dtype=np.int64
+        ),
+        config=np.frombuffer(
+            json.dumps(config).encode("utf-8"), dtype=np.uint8
+        ),
+        **{
+            _STORE_ENGINE_FORMAT_KEY: np.array(
+                [_FORMAT_VERSION], dtype=np.int64
+            )
+        },
+    )
+    return path
+
+
+def load_store_engine(
+    path: "str | Path",
+    *,
+    store_dir: "str | Path | None" = None,
+    n_shards: int | None = None,
+) -> "ServingEngine | ShardedServingEngine":
+    """Rebuild a store-backed engine written by :func:`save_store_engine`.
+
+    Re-opens the referenced :class:`MemmapStore` read-only (pass
+    ``store_dir`` when the replica mounts the store somewhere else) and
+    rebuilds a *cold* engine over zero-copy views of it.  Two classes of
+    artefact are rejected with :class:`ValueError`:
+
+    * **corrupted stores** — a bad manifest or truncated ``.dat`` file
+      fails the store's own open-time validation;
+    * **stale artefacts** — the store's stamped embedding version no
+      longer matches the one the artefact was built against (e.g. the
+      store was re-frozen after a retrain), so the candidate sets and
+      any cached results would mix embedding versions.
+
+    ``n_shards`` overrides the persisted shard count (``None`` keeps
+    it), letting one artefact drive differently-sharded replicas.
+    """
+    with np.load(Path(path)) as data:
+        required = {
+            "candidate_events",
+            "candidate_partners",
+            "config",
+            _STORE_ENGINE_FORMAT_KEY,
+        }
+        config = _load_npz_config(data, required, path)
+        candidate_events = data["candidate_events"].copy()
+        candidate_partners = data["candidate_partners"].copy()
+
+    directory = Path(
+        store_dir if store_dir is not None else config["store_directory"]
+    )
+    store = MemmapStore.open(directory)
+    persisted = int(config["embedding_version"])
+    if store.embedding_version != persisted:
+        raise ValueError(
+            f"stale serving artefact: built against embedding version "
+            f"{persisted}, but the store at {directory} now serves "
+            f"version {store.embedding_version} — rebuild the index"
+        )
+    embeddings = store.embeddings()
+    shards = n_shards if n_shards is not None else config.get("n_shards")
+    if shards is not None:
+        fleet = ShardedServingEngine(
+            embeddings.users,
+            embeddings.events,
+            candidate_events,
+            n_shards=int(shards),
+            candidate_partners=candidate_partners,
+            top_k_events=config["top_k_events"],
+            backend=config["backend"],
+            cache_size=config["cache_size"],
+        )
+        # replint: allow-loop(one iteration per shard, not per candidate)
+        for shard_engine in fleet.shards:
+            _restore_version(shard_engine, persisted)
+        return fleet
+    engine = ServingEngine(
+        embeddings.users,
+        embeddings.events,
+        candidate_events,
+        candidate_partners=candidate_partners,
+        top_k_events=config["top_k_events"],
+        backend=config["backend"],
+        cache_size=config["cache_size"],
+    )
+    _restore_version(engine, persisted)
+    return engine

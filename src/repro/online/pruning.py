@@ -14,6 +14,23 @@ import numpy as np
 
 from repro.online.transform import PairSpace, transform_pairs
 
+#: Partner rows scored per chunk in :func:`top_k_events_per_partner` —
+#: bounds the transient ``(chunk, n_events)`` score matrix so
+#: million-partner pruned builds never materialise the full
+#: partners-by-events product (each row's top-k is independent, so
+#: chunking leaves the result bit-identical).
+_PRUNE_CHUNK_ROWS = 65_536
+
+
+def _top_k_rows(scores: np.ndarray, k: int, n_events: int) -> np.ndarray:
+    """Per-row top-k column indices, descending score, stable ties."""
+    if k == n_events:
+        return np.argsort(-scores, axis=1, kind="stable")
+    part = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    row_scores = np.take_along_axis(scores, part, axis=1)
+    order = np.argsort(-row_scores, axis=1, kind="stable")
+    return np.take_along_axis(part, order, axis=1)
+
 
 def top_k_events_per_partner(
     event_vectors: np.ndarray,
@@ -24,25 +41,25 @@ def top_k_events_per_partner(
 
     Returns aligned ``(partner_rows, event_cols)`` index arrays of length
     ``n_partners * k`` (ordering: partner-major, events by descending
-    preference within a partner).
+    preference within a partner).  Scoring is chunked over partner rows
+    so only a ``(chunk, n_events)`` block is ever resident — the path
+    million-user candidate sets build through.
     """
     event_vectors = np.asarray(event_vectors, dtype=np.float64)
-    partner_vectors = np.asarray(partner_vectors, dtype=np.float64)
     n_events = event_vectors.shape[0]
-    n_partners = partner_vectors.shape[0]
+    n_partners = int(np.shape(partner_vectors)[0])
     if not 1 <= k <= n_events:
         raise ValueError(f"k must be in [1, {n_events}], got {k}")
 
-    scores = partner_vectors @ event_vectors.T  # (n_partners, n_events)
-    if k == n_events:
-        top = np.argsort(-scores, axis=1, kind="stable")
-    else:
-        part = np.argpartition(-scores, k - 1, axis=1)[:, :k]
-        row_scores = np.take_along_axis(scores, part, axis=1)
-        order = np.argsort(-row_scores, axis=1, kind="stable")
-        top = np.take_along_axis(part, order, axis=1)
+    top = np.empty((n_partners, k), dtype=np.int64)
+    # replint: allow-loop(chunked scoring bounds the transient matrix; rows independent)
+    for lo in range(0, n_partners, _PRUNE_CHUNK_ROWS):
+        hi = min(lo + _PRUNE_CHUNK_ROWS, n_partners)
+        block = np.asarray(partner_vectors[lo:hi], dtype=np.float64)
+        scores = block @ event_vectors.T  # (chunk, n_events)
+        top[lo:hi] = _top_k_rows(scores, k, n_events)[:, :k]
     partner_rows = np.repeat(np.arange(n_partners, dtype=np.int64), k)
-    event_cols = top[:, :k].reshape(-1).astype(np.int64)
+    event_cols = top.reshape(-1)
     return partner_rows, event_cols
 
 
@@ -58,13 +75,21 @@ def build_pruned_pair_space(
 
     ``event_ids``/``partner_ids`` translate the row positions of the
     vector matrices into global entity ids (defaults: positions).
+
+    ``partner_vectors`` is consumed lazily (chunked scoring, then one
+    per-pair gather inside :func:`transform_pairs`, which widens to
+    float64 itself) so a million-row ``np.memmap`` slice passes through
+    without ever being materialised wholesale — widening after the
+    gather is elementwise-exact, so results are bit-identical to the
+    eager float64 path.
     """
     event_vectors = np.asarray(event_vectors, dtype=np.float64)
-    partner_vectors = np.asarray(partner_vectors, dtype=np.float64)
     if event_ids is None:
         event_ids = np.arange(event_vectors.shape[0], dtype=np.int64)
     if partner_ids is None:
-        partner_ids = np.arange(partner_vectors.shape[0], dtype=np.int64)
+        partner_ids = np.arange(
+            int(np.shape(partner_vectors)[0]), dtype=np.int64
+        )
     event_ids = np.asarray(event_ids, dtype=np.int64)
     partner_ids = np.asarray(partner_ids, dtype=np.int64)
 

@@ -239,7 +239,13 @@ class ThresholdAlgorithmIndex:
         )
         contrib = qa * frontier  # q_f * z_f per active list
 
-        heap: list[tuple[float, int]] = []  # min-heap of (score, candidate)
+        # Min-heap of (score, -candidate): the weakest entry under the
+        # canonical total order "descending score, ascending pair index"
+        # sits at heap[0] (equal scores -> the *largest* index is weakest),
+        # so boundary ties resolve identically to the brute-force oracle
+        # and to per-shard engines merged by global index — bit-exact
+        # tie-breaking everywhere, not just when scores are distinct.
+        heap: list[tuple[float, int]] = []
         seen = np.zeros(n_cand, dtype=bool)
         n_examined = 0
         n_sorted = 0
@@ -248,7 +254,11 @@ class ThresholdAlgorithmIndex:
         # replint: allow-loop(TA rounds are sequential; threshold depends on prior round)
         while True:
             threshold = float(contrib.sum())
-            if len(heap) >= n and heap[0][0] >= threshold:
+            # Strict inequality: at heap-min == threshold an unseen
+            # candidate could still tie the boundary score with a smaller
+            # pair index, which the canonical order must prefer — one more
+            # round resolves it (unseen scores are then < the heap min).
+            if len(heap) >= n and heap[0][0] > threshold:
                 break
             if deadline is not None and time.perf_counter() >= deadline:
                 exact = False
@@ -274,10 +284,11 @@ class ThresholdAlgorithmIndex:
                 scores = points[fresh] @ q  # random access, vectorised
                 # replint: allow-loop(bounded heap maintenance, <= chunk items)
                 for cand, score in zip(fresh.tolist(), scores.tolist(), strict=True):
+                    entry = (score, -cand)
                     if len(heap) < n:
-                        heapq.heappush(heap, (score, cand))
-                    elif score > heap[0][0]:
-                        heapq.heapreplace(heap, (score, cand))
+                        heapq.heappush(heap, entry)
+                    elif entry > heap[0]:
+                        heapq.heapreplace(heap, entry)
             depths[t] = stop
             if stop < n_cand:
                 frontier[t] = points[lists[stop, f], f]
@@ -287,9 +298,9 @@ class ThresholdAlgorithmIndex:
                 if not np.any(contrib > 0.0) and len(heap) >= min(n, n_cand):
                     break
 
-        top = sorted(heap, key=lambda sc: (-sc[0], sc[1]))
+        top = sorted(heap, key=lambda sc: (-sc[0], -sc[1]))
         return RetrievalResult(
-            pair_indices=np.array([c for _, c in top], dtype=np.int64),
+            pair_indices=np.array([-c for _, c in top], dtype=np.int64),
             scores=np.array([s for s, _ in top], dtype=np.float64),
             n_examined=n_examined,
             n_sorted_accesses=n_sorted,

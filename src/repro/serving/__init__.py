@@ -52,6 +52,7 @@ from repro.serving.lifecycle import (
     RequestContext,
     RequestOutcome,
 )
+from repro.serving.sharded import ShardedServingEngine, merge_sharded_topn
 from repro.serving.telemetry import BuildStats, MetricsRegistry, QueryStats
 
 __all__ = [
@@ -74,7 +75,9 @@ __all__ = [
     "SHED_QUEUE_FULL",
     "SHED_RUNGS_EXHAUSTED",
     "ServingEngine",
+    "ShardedServingEngine",
     "ThresholdAlgorithmBackend",
+    "merge_sharded_topn",
     "active_plan",
     "available_backends",
     "create_backend",

@@ -94,6 +94,46 @@ _TRUNC_INITIAL_ROWS_PER_S = 2_000_000.0
 _TRUNC_BUDGET_FRACTION = 0.5
 
 
+def _as_served(vectors: np.ndarray) -> np.ndarray:
+    """The engine's working view of an embedding matrix.
+
+    Plain arrays keep the historical behaviour (a float64 working copy);
+    ``np.memmap`` inputs — the sharded, store-backed path — are kept
+    **zero-copy** so N shard engines mapping the same
+    :class:`~repro.core.store.MemmapStore` share one on-disk copy
+    through the page cache instead of each materialising a private
+    float64 matrix.  Rows and candidate slices are widened to float64 at
+    the point of use, which is exact (float32 -> float64 widening), so
+    results are bit-identical across the two representations.
+    """
+    if isinstance(vectors, np.memmap):
+        return vectors
+    return np.asarray(vectors, dtype=np.float64)
+
+
+def _candidate_rows(matrix: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Rows ``idx`` of an embedding matrix, staged for an index build.
+
+    A *contiguous* range of a memmap comes back as a zero-copy basic
+    slice, so chunked consumers (the pruned build) never hold the whole
+    candidate slice in memory — the property the million-user sharded
+    store relies on.  Everything else (plain arrays, scattered ids)
+    gathers the rows and widens to float64 eagerly, the historical
+    behaviour; downstream transforms widen lazily-passed rows at the
+    point of use, which is elementwise-exact, so both representations
+    produce bit-identical indices.
+    """
+    if (
+        isinstance(matrix, np.memmap)
+        and idx.size
+        and np.array_equal(
+            idx, np.arange(int(idx[0]), int(idx[0]) + idx.size)
+        )
+    ):
+        return matrix[int(idx[0]) : int(idx[0]) + idx.size]
+    return np.asarray(matrix[idx], dtype=np.float64)
+
+
 @dataclass(slots=True)
 class Recommendation:
     """One recommended event-partner pair."""
@@ -156,8 +196,8 @@ class ServingEngine:
         ladder: LadderPolicy | None = None,
         profiler: Profiler | None = None,
     ) -> None:
-        self.user_vectors = np.asarray(user_vectors, dtype=np.float64)
-        self.event_vectors = np.asarray(event_vectors, dtype=np.float64)
+        self.user_vectors = _as_served(user_vectors)
+        self.event_vectors = _as_served(event_vectors)
         self.candidate_events = np.asarray(candidate_events, dtype=np.int64)
         if self.candidate_events.size == 0:
             raise ValueError("candidate_events must be non-empty")
@@ -307,8 +347,13 @@ class ServingEngine:
                 )
                 with _Timer() as t, self.profiler.phase("build.pruned_sibling"):
                     space = build_pruned_pair_space(
-                        self.event_vectors[self.candidate_events],
-                        self.user_vectors[self.candidate_partners],
+                        np.asarray(
+                            self.event_vectors[self.candidate_events],
+                            dtype=np.float64,
+                        ),
+                        _candidate_rows(
+                            self.user_vectors, self.candidate_partners
+                        ),
                         k,
                         event_ids=self.candidate_events,
                         partner_ids=self.candidate_partners,
@@ -320,8 +365,14 @@ class ServingEngine:
         return self
 
     def _build(self) -> None:
-        ev = self.event_vectors[self.candidate_events]
-        pa = self.user_vectors[self.candidate_partners]
+        # Candidate events are few — gather them eagerly; the partner
+        # slice can be millions of memmap rows, so it stays lazy when
+        # contiguous (the pruned build chunks it; widening at the point
+        # of use keeps results bit-identical to the eager float64 path).
+        ev = np.asarray(
+            self.event_vectors[self.candidate_events], dtype=np.float64
+        )
+        pa = _candidate_rows(self.user_vectors, self.candidate_partners)
         k = self._effective_top_k()
         with _Timer() as t:
             fault_point("backend.build")
@@ -423,8 +474,15 @@ class ServingEngine:
                     f"rows {expected[0]}..{expected[-1]}"
                 )
             order = np.argsort(new_event_ids)
+            # Extending the event matrix materialises it in-process (the
+            # memmap store is append-immutable once frozen); the *user*
+            # matrix — the one that scales with millions of users — stays
+            # a zero-copy view.
             self.event_vectors = np.vstack(
-                [self.event_vectors, new_event_vectors[order]]
+                [
+                    np.asarray(self.event_vectors, dtype=np.float64),
+                    new_event_vectors[order],
+                ]
             )
         elif new_event_ids.size and new_event_ids.max() >= self.n_events:
             raise ValueError(
@@ -452,8 +510,11 @@ class ServingEngine:
         with _Timer() as t:
             with self.profiler.phase("build.transform"):
                 block = transform_all_pairs(
-                    self.event_vectors[fresh],
-                    self.user_vectors[self.candidate_partners],
+                    np.asarray(self.event_vectors[fresh], dtype=np.float64),
+                    np.asarray(
+                        self.user_vectors[self.candidate_partners],
+                        dtype=np.float64,
+                    ),
                     event_ids=fresh,
                     partner_ids=self.candidate_partners,
                 )
@@ -555,7 +616,9 @@ class ServingEngine:
                 t_q = t_r = 0.0
             else:
                 with _Timer() as tq:
-                    q = query_vector(self.user_vectors[user])
+                    q = query_vector(
+                        np.asarray(self.user_vectors[user], dtype=np.float64)
+                    )
                 with _Timer() as tr:
                     fault_point("backend.query")
                     result = self._backend.query(q, n, exclude=user)
@@ -603,6 +666,19 @@ class ServingEngine:
         — for concurrent deadline-scoped traffic use
         :meth:`recommend_many`.
         """
+        return [self._decode(r) for r in self.query_batch(users, n)]
+
+    def query_batch(
+        self, users: np.ndarray, n: int = 10
+    ) -> list[RetrievalResult]:
+        """Raw batched retrieval results, one per input user.
+
+        The engine pass behind :meth:`recommend_batch` (identical
+        caching, telemetry, and ordering); exposed separately so callers
+        that merge across engines — :class:`ShardedServingEngine` — can
+        reach the scores and local pair indices before decoding.
+        Thread-safe, no deadline.
+        """
         users = [
             self._validate_user(u)
             for u in np.atleast_1d(np.asarray(users, dtype=np.int64))
@@ -627,7 +703,9 @@ class ServingEngine:
             if misses:
                 miss_arr = np.array(misses, dtype=np.int64)
                 with _Timer() as tq:
-                    uv = self.user_vectors[miss_arr]
+                    uv = np.asarray(
+                        self.user_vectors[miss_arr], dtype=np.float64
+                    )
                     queries = np.concatenate(
                         [uv, uv, np.ones((uv.shape[0], 1))], axis=1
                     )
@@ -675,7 +753,7 @@ class ServingEngine:
                     batched=True,
                 )
             )
-        return [self._decode(results[u]) for u in users]
+        return [results[u] for u in users]
 
     # ------------------------------------------------------------------
     # online: deadline-aware queries (the request lifecycle)
@@ -741,7 +819,14 @@ class ServingEngine:
             )
             k = min(n, m)
             top = np.argpartition(-scores, k - 1)[:k]
-            order = top[np.lexsort((top, -scores[top]))]
+            # Widen boundary-score ties so the truncated answer follows the
+            # canonical (descending score, ascending index) order too — it
+            # is reported exact when the prefix covers the whole space.
+            if k < m:
+                boundary = scores[top].min()
+                if np.isfinite(boundary):
+                    top = np.flatnonzero(scores[:m] >= boundary)
+            order = top[np.lexsort((top, -scores[top]))][:k]
             order = order[np.isfinite(scores[order])]
         if t.seconds > 0:
             observed = m / t.seconds
@@ -866,7 +951,9 @@ class ServingEngine:
             "pruned": self._run_pruned,
             "truncated": self._run_truncated,
         }
-        q = query_vector(self.user_vectors[user])
+        q = query_vector(
+            np.asarray(self.user_vectors[user], dtype=np.float64)
+        )
         # replint: allow-loop(<= 4 ladder rungs per request, not candidates)
         for rung in available[available.index(first):]:
             if rung == "stale_cache":

@@ -1,0 +1,665 @@
+"""Sharded serving: fan-out over N per-shard engines, exact TA merge.
+
+One :class:`~repro.serving.engine.ServingEngine` owns one pair index,
+which caps the servable candidate set at what a single index build can
+hold — the ceiling ROADMAP item 1 (millions of users) runs into.  This
+module partitions the **partner axis** into N contiguous shards, gives
+each shard its own :class:`ServingEngine` over its partner slice (all
+candidate events, one slice of candidate partners), fans every query out
+to all shards, and merges the per-shard top-n lists back into the global
+top-n with a threshold-stop merge that is *provably exact*, ties
+included.
+
+Why the merge is exact
+----------------------
+
+Every engine orders equal scores by ascending pair index (both the TA
+heap and the brute-force ``lexsort`` break ties this way), so the global
+total order is "descending score, then ascending global pair index".
+Shards are **contiguous** partner-rank slices, and every pair-space
+layout the engine builds — event-major unpruned
+(``idx = event_rank * P + partner_rank``), partner-major pruned
+(``idx = partner_rank * k + preference_rank``), and the event-major
+blocks :meth:`ServingEngine.refresh` appends — is monotone in
+``(segment, …, partner_rank)``: restricting the global index order to
+one shard's partners gives exactly that shard's local index order.  Two
+consequences:
+
+1. each shard's top-n under its local order contains every member of
+   the global top-n that lives in that shard (there are at most n), and
+2. the local -> global index map (:meth:`ShardedServingEngine._global_keys`)
+   is order-preserving within a shard,
+
+so a k-way merge of the per-shard sorted lists keyed on
+``(-score, global_index)`` replays the single-index result bit-for-bit.
+The merge maintains Fagin's threshold invariant: the best unconsumed
+head across all shard lists bounds every deeper unconsumed item, so
+after n pops nothing left can displace a popped pair — the merge stops
+having touched at most ``n + N`` entries.  ``tests/test_sharded.py``
+property-tests this against single-index engines across random shard
+counts and tie-heavy score distributions.
+
+Deadlines, degradation, and shedding
+------------------------------------
+
+The deadline path fans a request out under **child**
+:class:`~repro.serving.lifecycle.RequestContext`\\ s sharing the parent's
+admission timestamp, so all shards see the same draining budget; each
+shard walks its own degradation ladder (private
+:class:`~repro.serving.lifecycle.LadderPolicy` — a stalled shard learns
+to degrade without dragging the others down).  The aggregate outcome is
+coherent by construction: it answers only if *every* shard answered
+(rung = the worst shard rung, ``exact`` only if all shards were exact,
+``stale`` if any was), and sheds with the first shedding shard's reason
+otherwise — one aggregate :class:`RequestOutcome` per request, zero
+silent drops, with per-shard detail preserved in each shard's own
+:class:`~repro.serving.telemetry.MetricsRegistry`.
+
+**Thread-safety:** mirrors :class:`ServingEngine` — queries may run
+concurrently from any number of threads; maintenance (:meth:`warm`,
+:meth:`warm_ladder`, :meth:`rebuild`, :meth:`refresh`) is serialised
+against itself but not against in-flight queries.  Fan-out uses a
+persistent internal thread pool; call :meth:`close` (or use the engine
+as a context manager) when discarding the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.online.ta import RetrievalResult
+from repro.serving.backends import create_backend
+from repro.serving.engine import Recommendation, ServingEngine
+from repro.serving.lifecycle import (
+    RUNGS,
+    AdmissionController,
+    LadderPolicy,
+    RequestContext,
+    RequestOutcome,
+)
+from repro.serving.telemetry import MetricsRegistry, QueryStats, _Timer
+
+__all__ = ["ShardedServingEngine", "merge_sharded_topn"]
+
+
+@dataclass(slots=True)
+class _ShardList:
+    """One shard's sorted candidate list, ready for the k-way merge.
+
+    ``scores`` descend; ``keys`` are *global* pair indices (ascending
+    within equal scores); ``event_ids``/``partner_ids`` align with both.
+    """
+
+    scores: np.ndarray
+    keys: np.ndarray
+    event_ids: np.ndarray
+    partner_ids: np.ndarray
+
+
+def merge_sharded_topn(
+    shard_lists: list[_ShardList], n: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Exact threshold-stop merge of per-shard sorted top lists.
+
+    Classic k-way heap merge under the total order
+    ``(-score, global_key)``.  The heap holds one *head* per unconsumed
+    shard list; Fagin's threshold argument makes the early stop exact:
+    the best head is an upper bound on every unconsumed item in every
+    list (each list descends), so the popped prefix is final and the
+    merge may stop after ``n`` pops without examining the tails.
+    Returns aligned ``(scores, keys, event_ids, partner_ids)`` arrays of
+    length ``<= n``.  Pure function; thread-safe; no deadline (the work
+    is O((n + shards) log shards)).
+    """
+    heads: list[tuple[float, int, int, int]] = [
+        (-float(sl.scores[0]), int(sl.keys[0]), s, 0)
+        for s, sl in enumerate(shard_lists)
+        if sl.scores.size
+    ]
+    heapq.heapify(heads)
+    out_s: list[float] = []
+    out_k: list[int] = []
+    out_e: list[int] = []
+    out_p: list[int] = []
+    # replint: allow-loop(threshold-stop merge pops at most n + n_shards heads, not candidates)
+    while heads and len(out_k) < n:
+        neg_score, key, shard, pos = heapq.heappop(heads)
+        sl = shard_lists[shard]
+        out_s.append(-neg_score)
+        out_k.append(key)
+        out_e.append(int(sl.event_ids[pos]))
+        out_p.append(int(sl.partner_ids[pos]))
+        nxt = pos + 1
+        if nxt < sl.scores.size:
+            heapq.heappush(
+                heads,
+                (-float(sl.scores[nxt]), int(sl.keys[nxt]), shard, nxt),
+            )
+    return (
+        np.asarray(out_s, dtype=np.float64),
+        np.asarray(out_k, dtype=np.int64),
+        np.asarray(out_e, dtype=np.int64),
+        np.asarray(out_p, dtype=np.int64),
+    )
+
+
+class ShardedServingEngine:
+    """N per-shard :class:`ServingEngine`\\ s behind one exact interface.
+
+    Candidate partners are split into ``n_shards`` contiguous
+    rank-slices; each shard engine indexes (its partners × all candidate
+    events) and the fan-out/merge layer reconstructs single-index
+    results exactly (see the module docstring for the proof sketch).
+
+    Pass ``np.memmap`` matrices (from a frozen
+    :class:`~repro.core.store.MemmapStore`) and every shard serves
+    zero-copy from the same on-disk embedding copy — no process
+    materialises the full matrix; each shard's build touches only its
+    own partner slice.
+
+    Parameters mirror :class:`ServingEngine`; ``metrics`` is the
+    *aggregate* registry (each shard additionally keeps a private one,
+    see :meth:`shard_metrics`).
+
+    **Thread-safety:** same contract as :class:`ServingEngine` (see the
+    module docstring); :meth:`close` the engine when done to release the
+    fan-out pool.
+    """
+
+    def __init__(
+        self,
+        user_vectors: np.ndarray,
+        event_vectors: np.ndarray,
+        candidate_events: np.ndarray,
+        *,
+        n_shards: int,
+        candidate_partners: np.ndarray | None = None,
+        top_k_events: int | None = None,
+        backend: str = "ta",
+        cache_size: int = 256,
+        metrics: MetricsRegistry | None = None,
+        stale_cache_size: int = 1024,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if candidate_partners is None:
+            candidate_partners = np.arange(
+                int(np.shape(user_vectors)[0]), dtype=np.int64
+            )
+        candidate_partners = np.asarray(candidate_partners, dtype=np.int64)
+        if n_shards > candidate_partners.size:
+            raise ValueError(
+                f"n_shards={n_shards} exceeds the {candidate_partners.size} "
+                "candidate partners (a shard may not be empty)"
+            )
+        self.n_shards = int(n_shards)
+        self.backend_name = backend
+        self.top_k_events = top_k_events
+        self.candidate_partners = candidate_partners
+        self.candidate_events = np.asarray(candidate_events, dtype=np.int64)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._prunes_by_default = bool(
+            getattr(create_backend(backend), "prunes_by_default", False)
+        )
+        slices = np.array_split(candidate_partners, n_shards)
+        self._sizes = [int(s.size) for s in slices]
+        self._offsets = [
+            int(o) for o in np.concatenate([[0], np.cumsum(self._sizes)[:-1]])
+        ]
+        self._shards = [
+            ServingEngine(
+                user_vectors,
+                event_vectors,
+                self.candidate_events,
+                candidate_partners=part,
+                top_k_events=top_k_events,
+                backend=backend,
+                cache_size=cache_size,
+                metrics=MetricsRegistry(),
+                stale_cache_size=stale_cache_size,
+                ladder=LadderPolicy(),
+            )
+            for part in slices
+        ]
+        self._built_events: int | None = None  # candidate count at build
+        self._built_k: int | None = None  # effective pruning k at build
+        self._build_lock = threading.RLock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.n_shards, thread_name_prefix="shard-fanout"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    @property
+    def shards(self) -> tuple[ServingEngine, ...]:
+        """The per-shard engines, in partner-rank order."""
+        return tuple(self._shards)
+
+    @property
+    def version(self) -> int:
+        """The embedding version currently served (all shards agree)."""
+        return self._shards[0].version
+
+    @property
+    def n_users(self) -> int:
+        """Rows of the shared user embedding matrix."""
+        return self._shards[0].n_users
+
+    @property
+    def n_candidate_pairs(self) -> int:
+        """Total candidate pairs across all shard indices (builds them)."""
+        self.warm()
+        return sum(sh.n_candidate_pairs for sh in self._shards)
+
+    def memory_bytes(self) -> int:
+        """Summed resident index bytes across shards."""
+        return sum(sh.memory_bytes() for sh in self._shards)
+
+    def shard_metrics(self) -> list[MetricsRegistry]:
+        """Each shard's private registry, in shard order.
+
+        The aggregate :attr:`metrics` registry records one
+        :class:`QueryStats`/shed per *request*; these record one per
+        shard sub-query — both views are kept so telemetry stays
+        coherent under partial degradation.
+        """
+        return [sh.metrics for sh in self._shards]
+
+    def close(self) -> None:
+        """Release the fan-out thread pool (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedServingEngine":
+        """Context-manager entry (returns self)."""
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        """Context-manager exit: :meth:`close` the fan-out pool."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # offline: build / refresh
+    def _effective_k(self) -> int | None:
+        """The pruning level every shard builds with (engine parity)."""
+        if self.top_k_events is not None:
+            return self.top_k_events
+        if self._prunes_by_default:
+            from repro.serving.engine import DEFAULT_PRUNED_FRACTION
+
+            return max(
+                1,
+                int(round(DEFAULT_PRUNED_FRACTION * self.candidate_events.size)),
+            )
+        return None
+
+    def warm(self) -> "ShardedServingEngine":
+        """Build every shard index now (otherwise first query pays it).
+
+        Idempotent; shard builds run through the fan-out pool.  Also
+        snapshots the candidate-event count and pruning level at build
+        time — the constants the local -> global index map needs.
+        """
+        with self._build_lock:
+            if self._built_events is None:
+                list(self._pool.map(lambda sh: sh.warm(), self._shards))
+                self._built_events = int(self.candidate_events.size)
+                self._built_k = self._effective_k()
+        return self
+
+    def warm_ladder(self) -> "ShardedServingEngine":
+        """Warm every degradation rung on every shard (see engine docs)."""
+        self.warm()
+        with self._build_lock:
+            list(self._pool.map(lambda sh: sh.warm_ladder(), self._shards))
+        return self
+
+    def rebuild(self) -> None:
+        """Cold-rebuild every shard under a new version.
+
+        Same contract as :meth:`ServingEngine.rebuild` (not linearisable
+        with in-flight queries); re-snapshots the index-map constants.
+        """
+        with self._build_lock:
+            list(self._pool.map(lambda sh: sh.rebuild(), self._shards))
+            self._built_events = int(self.candidate_events.size)
+            self._built_k = self._effective_k()
+
+    def refresh(
+        self,
+        new_event_ids: np.ndarray,
+        new_event_vectors: np.ndarray | None = None,
+    ) -> int:
+        """Fold new events into every shard (engine ``refresh`` per shard).
+
+        All shards receive the same ids in the same order, so the
+        appended event-major blocks stay aligned across shards and the
+        exact merge keeps working (the appended-segment key formula).
+        Returns the number of events added (identical on every shard).
+        Not linearisable with in-flight queries.
+        """
+        with self._build_lock:
+            added = [
+                sh.refresh(new_event_ids, new_event_vectors)
+                for sh in self._shards
+            ]
+            if len(set(added)) != 1:  # pragma: no cover - defensive
+                raise RuntimeError(f"shards diverged during refresh: {added}")
+            self.candidate_events = self._shards[0].candidate_events
+            return added[0]
+
+    # ------------------------------------------------------------------
+    # the local -> global index map
+    def _global_keys(self, shard: int, local_idx: np.ndarray) -> np.ndarray:
+        """Map a shard's local pair indices to global pair indices.
+
+        Piecewise by segment (see the module docstring): the initial
+        build segment is event-major (unpruned) or partner-major
+        (pruned); every refresh appends event-major blocks.  The map is
+        strictly increasing in ``local_idx``, which is what makes the
+        per-shard sort order the restriction of the global one.
+        """
+        self.warm()
+        assert self._built_events is not None
+        local = np.asarray(local_idx, dtype=np.int64)
+        off = self._offsets[shard]
+        p_s = self._sizes[shard]
+        p_all = int(self.candidate_partners.size)
+        k = self._built_k
+        e0 = self._built_events
+        if k is None:
+            base_s = e0 * p_s
+            base_g = e0 * p_all
+            ev, pa = np.divmod(local, p_s)
+            key_initial = ev * p_all + off + pa
+        else:
+            base_s = p_s * k
+            base_g = p_all * k
+            pa, j = np.divmod(local, k)
+            key_initial = (off + pa) * k + j
+        fresh, pa2 = np.divmod(local - base_s, p_s)
+        key_appended = base_g + fresh * p_all + off + pa2
+        return np.where(local < base_s, key_initial, key_appended).astype(
+            np.int64
+        )
+
+    def _shard_list(self, shard: int, result: RetrievalResult) -> _ShardList:
+        """Package one shard's result for the merge (keys + ids)."""
+        space = self._shards[shard].space
+        idx = result.pair_indices
+        return _ShardList(
+            scores=np.asarray(result.scores, dtype=np.float64),
+            keys=self._global_keys(shard, idx),
+            event_ids=np.asarray(space.event_ids[idx], dtype=np.int64),
+            partner_ids=np.asarray(space.partner_ids[idx], dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # online: exact queries
+    def query(self, user: int, n: int) -> RetrievalResult:
+        """Fan out, merge: the *global* retrieval result for ``user``.
+
+        ``pair_indices`` are global pair-space indices — bit-identical
+        (ids and scores) to a single-index :meth:`ServingEngine.query`
+        over the same data.  Thread-safe; no deadline; access statistics
+        are summed across shards.
+        """
+        scores, keys, _events, _partners, stats = self._query_merged(user, n)
+        return RetrievalResult(
+            pair_indices=keys,
+            scores=scores,
+            n_examined=stats.n_examined,
+            n_sorted_accesses=stats.n_sorted_accesses,
+            fraction_examined=stats.fraction_examined,
+            exact=stats.exact,
+        )
+
+    def _query_merged(
+        self, user: int, n: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, QueryStats]:
+        """Fan out + merge, recording one aggregate ``QueryStats``.
+
+        The common substrate of :meth:`query` and :meth:`recommend`, so
+        both surfaces feed the aggregate registry (per-shard registries
+        are filled by the per-shard queries regardless).
+        """
+        self.warm()
+        n = int(n)
+        with _Timer() as total:
+            results = self._fan_out(lambda sh: sh.query(user, n))
+            merged = merge_sharded_topn(
+                [self._shard_list(s, r) for s, r in enumerate(results)], n
+            )
+        scores, keys, events, partners = merged
+        n_cand = sum(sh.n_candidate_pairs for sh in self._shards)
+        n_exam = sum(r.n_examined for r in results)
+        stats = QueryStats(
+            user=int(user),
+            n=n,
+            backend=f"sharded[{self.n_shards}]:{self.backend_name}",
+            version=self.version,
+            n_candidates=n_cand,
+            n_examined=n_exam,
+            n_sorted_accesses=sum(r.n_sorted_accesses for r in results),
+            fraction_examined=n_exam / max(n_cand, 1),
+            seconds_total=total.seconds,
+            exact=all(r.exact for r in results),
+        )
+        self.metrics.record(stats)
+        return scores, keys, events, partners, stats
+
+    def recommend(self, user: int, n: int = 10) -> list[Recommendation]:
+        """Global top-n recommendations for ``user`` (no deadline).
+
+        Bit-exact against the single-index engine; thread-safe.
+        """
+        scores, _keys, events, partners, _stats = self._query_merged(user, n)
+        return [
+            Recommendation(event=int(e), partner=int(p), score=float(s))
+            for e, p, s in zip(events, partners, scores, strict=True)
+        ]
+
+    def recommend_batch(
+        self, users: np.ndarray, n: int = 10
+    ) -> list[list[Recommendation]]:
+        """Batched global top-n: one vectorised pass per shard, then merge.
+
+        Identical to calling :meth:`recommend` per user; thread-safe.
+        """
+        self.warm()
+        n = int(n)
+        user_arr = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        per_shard = self._fan_out(lambda sh: sh.query_batch(user_arr, n))
+        out: list[list[Recommendation]] = []
+        # replint: allow-loop(per-user merge over the requested batch, not candidates)
+        for i in range(user_arr.size):
+            scores, _keys, events, partners = merge_sharded_topn(
+                [
+                    self._shard_list(s, shard_res[i])
+                    for s, shard_res in enumerate(per_shard)
+                ],
+                n,
+            )
+            out.append(
+                [
+                    Recommendation(event=int(e), partner=int(p), score=float(sc))
+                    for e, p, sc in zip(events, partners, scores, strict=True)
+                ]
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # online: deadline-aware queries
+    def recommend_within(
+        self,
+        user: int,
+        n: int = 10,
+        *,
+        budget_s: float | None = None,
+        ctx: RequestContext | None = None,
+    ) -> RequestOutcome:
+        """Serve one request under a deadline across all shards.
+
+        Each shard receives a **child context sharing the parent's
+        admission timestamp** — budgets drain in lockstep, so a request
+        that queued for 40 ms of a 50 ms budget has 10 ms on every
+        shard, and each shard's ladder degrades independently within it.
+        The aggregate outcome answers only when every shard answered
+        (rung = worst shard rung, ``exact`` = all shards exact,
+        ``stale`` = any shard stale) and sheds with the first shedding
+        shard's reason otherwise; the merge across degraded shard
+        answers orders by ``(-score, event, partner)`` — deterministic,
+        and identical to the exact merge whenever every shard served its
+        ``full`` rung with sorted candidate ids.  Thread-safe.
+        """
+        if (budget_s is None) == (ctx is None):
+            raise ValueError("pass exactly one of budget_s or ctx")
+        if ctx is None:
+            assert budget_s is not None
+            ctx = RequestContext.with_budget(budget_s)
+        self.warm()
+        n = int(n)
+        user = int(user)
+        parent = ctx
+
+        def serve_shard(sh: ServingEngine) -> RequestOutcome:
+            child = RequestContext(parent.budget_s, start=parent.start)
+            return sh.recommend_within(user, n, ctx=child)
+
+        outcomes = self._fan_out(serve_shard)
+        shed = [o for o in outcomes if not o.answered]
+        if shed:
+            reason = shed[0].shed_reason
+            self.metrics.record_shed(
+                reason if reason is not None else "rungs_exhausted"
+            )
+            return RequestOutcome(
+                user=user, n=n, answered=False, shed_reason=reason
+            )
+        merged = self._merge_outcomes(outcomes, n)
+        assert all(o.stats is not None for o in outcomes)
+        stats_list = [o.stats for o in outcomes if o.stats is not None]
+        worst = max(RUNGS.index(s.rung) for s in stats_list)
+        n_cand = sum(s.n_candidates for s in stats_list)
+        n_exam = sum(s.n_examined for s in stats_list)
+        stats = QueryStats(
+            user=user,
+            n=n,
+            backend=f"sharded[{self.n_shards}]:{self.backend_name}",
+            version=self.version,
+            n_candidates=n_cand,
+            n_examined=n_exam,
+            n_sorted_accesses=sum(s.n_sorted_accesses for s in stats_list),
+            fraction_examined=n_exam / max(n_cand, 1),
+            seconds_total=parent.elapsed(),
+            cache_hit=all(s.cache_hit for s in stats_list),
+            rung=RUNGS[worst],
+            deadline_budget_s=parent.budget_s,
+            deadline_remaining_s=parent.remaining(),
+            deadline_met=not parent.expired(),
+            queue_wait_s=parent.queue_wait_s,
+            exact=all(s.exact for s in stats_list),
+            stale=any(s.stale for s in stats_list),
+        )
+        self.metrics.record(stats)
+        return RequestOutcome(
+            user=user, n=n, answered=True, recommendations=merged, stats=stats
+        )
+
+    def recommend_many(
+        self,
+        users: np.ndarray,
+        n: int = 10,
+        *,
+        budget_s: float = 0.05,
+        workers: int = 4,
+        queue_depth: int | None = None,
+    ) -> list[RequestOutcome]:
+        """Deadline-scoped concurrent serving across shards.
+
+        Mirrors :meth:`ServingEngine.recommend_many`: budgets start at
+        submission, ``queue_depth`` bounds admitted-but-unfinished
+        requests (beyond it requests shed with ``queue_full`` in the
+        aggregate registry), and exactly one outcome per input user is
+        returned in input order — zero silent drops.  Thread-safe; the
+        outer pool is private to this call, the shard fan-out shares the
+        engine's persistent pool.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        user_list = [
+            int(u) for u in np.atleast_1d(np.asarray(users, dtype=np.int64))
+        ]
+        self.warm()
+        controller = (
+            AdmissionController(queue_depth, metrics=self.metrics)
+            if queue_depth is not None
+            else None
+        )
+        outcomes: list[RequestOutcome | None] = [None] * len(user_list)
+
+        def serve(
+            u: int, ctx: RequestContext, admitted: AdmissionController | None
+        ) -> RequestOutcome:
+            try:
+                ctx.mark_dequeued()
+                return self.recommend_within(u, n, ctx=ctx)
+            finally:
+                if admitted is not None:
+                    admitted.release()
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures: dict[Future[RequestOutcome], int] = {}
+            # replint: allow-loop(admission/submission per request, O(batch))
+            for i, u in enumerate(user_list):
+                if controller is not None and not controller.try_admit():
+                    outcomes[i] = RequestOutcome(
+                        user=u,
+                        n=int(n),
+                        answered=False,
+                        shed_reason="queue_full",
+                    )
+                    continue
+                ctx = RequestContext.with_budget(budget_s)
+                futures[pool.submit(serve, u, ctx, controller)] = i
+            # replint: allow-loop(future collection per request, O(batch))
+            for future, i in futures.items():
+                outcomes[i] = future.result()
+        return [o for o in outcomes if o is not None]
+
+    # ------------------------------------------------------------------
+    # internals
+    def _fan_out(self, fn: "object") -> list:
+        """Run ``fn(shard_engine)`` on every shard via the engine pool.
+
+        Results come back in shard order; with one shard the call is
+        inlined (no pool hop).  Exceptions propagate to the caller.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if self.n_shards == 1:
+            return [fn(self._shards[0])]  # type: ignore[operator]
+        return list(self._pool.map(fn, self._shards))  # type: ignore[arg-type]
+
+    @staticmethod
+    def _merge_outcomes(
+        outcomes: list[RequestOutcome], n: int
+    ) -> list[Recommendation]:
+        """Merge per-shard (possibly degraded) answers deterministically.
+
+        Ordered by ``(-score, event, partner)``: equal to the exact
+        global-index merge whenever all shards answered exactly with
+        ascending candidate ids, and a stable, reproducible choice when
+        some shard served a degraded rung (whose answer is already
+        approximate by contract).
+        """
+        merged = [r for o in outcomes for r in o.recommendations]
+        merged.sort(key=lambda r: (-r.score, r.event, r.partner))
+        return merged[:n]

@@ -1,10 +1,13 @@
-"""Tests for the Hogwild shared-memory parallel trainer."""
+"""Tests for the Hogwild parallel trainer over the shared memmap store."""
+
+import multiprocessing
 
 import numpy as np
 import pytest
 
 from repro.core.gem import GEM
-from repro.core.parallel import speedup_curve, train_parallel
+from repro.core.parallel import _fork_available, speedup_curve, train_parallel
+from repro.core.store import MemmapStore
 from repro.core.trainer import TrainerConfig
 from repro.evaluation import evaluate_event_recommendation
 
@@ -95,6 +98,72 @@ class TestChunkedAllocation:
             tiny_bundle, config, 10_000, 2, seed=3, chunk_steps=300
         )
         assert sum(result.steps_by_worker) == 10_000
+
+
+class TestMemmapSharing:
+    """Workers share one on-disk embedding copy — no per-worker copies.
+
+    The Hogwild path used to stage matrices in per-run
+    ``multiprocessing.shared_memory`` blocks; it now trains directly on
+    ``np.memmap`` views of a :class:`MemmapStore`, which is also what
+    the sharded serving engines map.  These are the regression tests for
+    that contract.
+    """
+
+    def test_store_dir_returns_live_memmap_views(self, tiny_bundle, tmp_path):
+        config = TrainerConfig(dim=8, seed=3)
+        result = train_parallel(
+            tiny_bundle, config, 5_000, 2, seed=3, store_dir=tmp_path / "s"
+        )
+        assert result.store is not None
+        assert result.store.state == "write"
+        for matrix in result.embeddings.matrices.values():
+            if matrix.size:
+                # Live views of the store files, not private copies.
+                assert isinstance(matrix, np.memmap)
+        # Freezing the store serves the exact trained values read-only.
+        trained_users = np.array(result.embeddings.users)
+        result.store.freeze(embedding_version=1)
+        ro = MemmapStore.open(tmp_path / "s")
+        assert np.array_equal(ro.embeddings().users, trained_users)
+
+    def test_temp_store_matches_store_dir_bitwise(self, tiny_bundle, tmp_path):
+        # Single-worker runs are deterministic, so the temporary-store
+        # path and an explicit store_dir must produce bit-identical
+        # embeddings (same init draw, same update sequence).
+        config = TrainerConfig(dim=8, seed=3)
+        a = train_parallel(tiny_bundle, config, 3_000, 1, seed=3)
+        b = train_parallel(
+            tiny_bundle, config, 3_000, 1, seed=3, store_dir=tmp_path / "s"
+        )
+        assert a.store is None
+        for etype, matrix in a.embeddings.matrices.items():
+            assert np.array_equal(matrix, b.embeddings.matrices[etype])
+
+    @pytest.mark.skipif(not _fork_available(), reason="requires fork")
+    def test_cross_process_writes_visible_without_copy(self, tmp_path):
+        # A forked process writing through its own writable open of the
+        # store must be visible through the parent's pre-existing views:
+        # both map the same MAP_SHARED pages, the no-per-worker-copy
+        # property train_parallel's workers rely on.
+        from repro.ebsn.graphs import EntityType
+
+        counts = {EntityType.USER: 4, EntityType.EVENT: 3}
+        store = MemmapStore.create(tmp_path / "s", counts, 8)
+        parent_view = store.embeddings().users
+        assert float(parent_view[2, 5]) == 0.0
+
+        def child() -> None:
+            w = MemmapStore.open(tmp_path / "s", writable=True)
+            w.embeddings().users[2, 5] = 7.5
+            w.flush()
+
+        ctx = multiprocessing.get_context("fork")
+        p = ctx.Process(target=child)
+        p.start()
+        p.join()
+        assert p.exitcode == 0
+        assert float(parent_view[2, 5]) == 7.5
 
 
 class TestParallelProfiling:

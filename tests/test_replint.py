@@ -315,6 +315,36 @@ class TestRep005:
         src = "def f(embeddings, i):\n    embeddings[i] = 0.0\n"
         assert codes(src, TEST_PATH, ["REP005"]) == []
 
+    def test_store_is_exempt_but_store_clients_are_not(self):
+        # The memmap store owns whole-matrix loads (load_from /
+        # fill_random); everything *consuming* its views stays confined.
+        src = "def f(embeddings, i):\n    embeddings[i] = 0.0\n"
+        assert codes(src, "src/repro/core/store.py", ["REP005"]) == []
+        assert codes(src, "src/repro/core/parallel.py", ["REP005"]) == [
+            "REP005"
+        ]
+
+    def test_writes_through_store_views_flagged(self):
+        # Out-of-bounds write through the new backend: a view obtained
+        # from a MemmapStore is still an embedding matrix to REP005.
+        src = (
+            "def f(store, i):\n"
+            "    user_vectors = store.embeddings().users\n"
+            "    user_vectors[i] = 0.0\n"
+        )
+        assert codes(src, OTHER_PATH, ["REP005"]) == ["REP005"]
+
+    def test_store_client_fixture_seeds_rep005(self):
+        fixture = (
+            REPO_ROOT / "tools/replint/fixtures/repro/core/bad_store_client.py"
+        )
+        found = [
+            v.code
+            for v in lint_paths([str(fixture)])
+            if v.code == "REP005"
+        ]
+        assert len(found) == 4
+
 
 # ----------------------------------------------------------------------
 # REP006 — docstrings on the public serving surface

@@ -1,0 +1,212 @@
+"""Sharded serving engine: exact merge, lifecycle, and telemetry.
+
+The load-bearing claim of :mod:`repro.serving.sharded` is that the
+threshold-stop merge of per-shard top-n lists replays a single-index
+engine **bit for bit** — scores, global pair indices, and tie order.
+The Hypothesis property test here attacks exactly the regime where a
+sloppy merge diverges: heavily quantised scores (many exact ties,
+including across shard boundaries), random shard counts, pruned and
+unpruned layouts, and post-refresh appended blocks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import ServingEngine, ShardedServingEngine
+from repro.serving.sharded import _ShardList, merge_sharded_topn
+
+
+def _tie_heavy_vectors(seed: int, n_users: int, n_events: int, dim: int):
+    """Quantised non-negative embeddings: many exact score ties."""
+    rng = np.random.default_rng(seed)
+    # Few distinct levels -> inner products collide constantly.
+    users = rng.integers(0, 3, size=(n_users, dim)).astype(np.float64) * 0.5
+    events = rng.integers(0, 3, size=(n_events, dim)).astype(np.float64) * 0.5
+    return users, events
+
+
+def _assert_bit_identical(single: ServingEngine, fleet: ShardedServingEngine,
+                          users: "list[int]", n: int) -> None:
+    for u in users:
+        ref = single.query(u, n)
+        got = fleet.query(u, n)
+        np.testing.assert_array_equal(ref.pair_indices, got.pair_indices)
+        np.testing.assert_array_equal(ref.scores, got.scores)
+
+
+class TestMergeFunction:
+    def test_merge_of_single_list_is_identity_prefix(self):
+        sl = _ShardList(
+            scores=np.array([3.0, 2.0, 1.0]),
+            keys=np.array([5, 1, 9], dtype=np.int64),
+            event_ids=np.array([0, 0, 1], dtype=np.int64),
+            partner_ids=np.array([5, 1, 4], dtype=np.int64),
+        )
+        scores, keys, events, partners = merge_sharded_topn([sl], 2)
+        np.testing.assert_array_equal(scores, [3.0, 2.0])
+        np.testing.assert_array_equal(keys, [5, 1])
+
+    def test_merge_breaks_ties_by_global_key(self):
+        a = _ShardList(
+            scores=np.array([2.0, 2.0]),
+            keys=np.array([4, 7], dtype=np.int64),
+            event_ids=np.zeros(2, dtype=np.int64),
+            partner_ids=np.array([4, 7], dtype=np.int64),
+        )
+        b = _ShardList(
+            scores=np.array([2.0]),
+            keys=np.array([5], dtype=np.int64),
+            event_ids=np.zeros(1, dtype=np.int64),
+            partner_ids=np.array([5], dtype=np.int64),
+        )
+        _scores, keys, _e, _p = merge_sharded_topn([a, b], 3)
+        np.testing.assert_array_equal(keys, [4, 5, 7])
+
+    def test_merge_skips_empty_shards(self):
+        a = _ShardList(
+            scores=np.array([1.0]),
+            keys=np.array([0], dtype=np.int64),
+            event_ids=np.array([0], dtype=np.int64),
+            partner_ids=np.array([0], dtype=np.int64),
+        )
+        empty = _ShardList(
+            scores=np.empty(0),
+            keys=np.empty(0, dtype=np.int64),
+            event_ids=np.empty(0, dtype=np.int64),
+            partner_ids=np.empty(0, dtype=np.int64),
+        )
+        scores, keys, _e, _p = merge_sharded_topn([a, empty], 5)
+        assert keys.tolist() == [0]
+
+
+class TestShardedExactness:
+    """The acceptance property: sharded == single-index, bit for bit."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_shards=st.integers(min_value=1, max_value=7),
+        n=st.integers(min_value=1, max_value=25),
+        backend=st.sampled_from(["ta", "bruteforce"]),
+        pruned=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_sharded_equals_single(
+        self, seed, n_shards, n, backend, pruned
+    ):
+        users, events = _tie_heavy_vectors(seed, n_users=23, n_events=11, dim=4)
+        cand = np.arange(11, dtype=np.int64)
+        k = 3 if pruned else None
+        single = ServingEngine(
+            users, events, cand, top_k_events=k, backend=backend, cache_size=0
+        ).warm()
+        with ShardedServingEngine(
+            users,
+            events,
+            cand,
+            n_shards=n_shards,
+            top_k_events=k,
+            backend=backend,
+            cache_size=0,
+        ) as fleet:
+            _assert_bit_identical(single, fleet, list(range(0, 23, 3)), n)
+
+    @pytest.mark.parametrize("backend", ["ta", "bruteforce"])
+    @pytest.mark.parametrize("n_shards", [2, 3])
+    def test_exact_after_refresh(self, backend, n_shards):
+        rng = np.random.default_rng(11)
+        users = np.abs(rng.normal(size=(30, 5)))
+        events = np.abs(rng.normal(size=(12, 5)))
+        cand = np.arange(8, dtype=np.int64)
+        single = ServingEngine(users, events, cand, backend=backend,
+                               cache_size=0).warm()
+        with ShardedServingEngine(
+            users, events, cand, n_shards=n_shards, backend=backend,
+            cache_size=0,
+        ) as fleet:
+            fleet.warm()
+            new_ids = np.array([8, 9], dtype=np.int64)
+            assert single.refresh(new_ids) == 2
+            assert fleet.refresh(new_ids) == 2
+            _assert_bit_identical(single, fleet, list(range(0, 30, 4)), 15)
+
+    def test_recommend_matches_query_decoding(self):
+        users, events = _tie_heavy_vectors(5, n_users=15, n_events=9, dim=3)
+        cand = np.arange(9, dtype=np.int64)
+        single = ServingEngine(users, events, cand, cache_size=0).warm()
+        with ShardedServingEngine(
+            users, events, cand, n_shards=3, cache_size=0
+        ) as fleet:
+            for u in range(0, 15, 2):
+                ref = single.recommend(u, 7)
+                got = fleet.recommend(u, 7)
+                assert [(r.event, r.partner, r.score) for r in ref] == [
+                    (g.event, g.partner, g.score) for g in got
+                ]
+
+    def test_batch_matches_per_user(self):
+        users, events = _tie_heavy_vectors(9, n_users=18, n_events=7, dim=4)
+        cand = np.arange(7, dtype=np.int64)
+        with ShardedServingEngine(
+            users, events, cand, n_shards=2, cache_size=0
+        ) as fleet:
+            ids = np.array([1, 4, 4, 11], dtype=np.int64)
+            batch = fleet.recommend_batch(ids, 6)
+            assert len(batch) == ids.size
+            for u, recs in zip(ids.tolist(), batch, strict=True):
+                single = fleet.recommend(u, 6)
+                assert [(r.event, r.partner) for r in recs] == [
+                    (s.event, s.partner) for s in single
+                ]
+
+
+class TestShardedLifecycle:
+    def test_rejects_more_shards_than_partners(self):
+        users, events = _tie_heavy_vectors(2, n_users=4, n_events=5, dim=3)
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardedServingEngine(
+                users, events, np.arange(5, dtype=np.int64), n_shards=9
+            )
+
+    def test_aggregate_telemetry_recorded_on_both_surfaces(self):
+        users, events = _tie_heavy_vectors(3, n_users=12, n_events=6, dim=3)
+        cand = np.arange(6, dtype=np.int64)
+        with ShardedServingEngine(
+            users, events, cand, n_shards=2, cache_size=0
+        ) as fleet:
+            fleet.query(1, 5)
+            fleet.recommend(2, 5)
+            assert len(fleet.metrics.records) == 2
+            assert all(
+                r.backend == "sharded[2]:ta" for r in fleet.metrics.records
+            )
+            # Per-shard registries fill independently of the aggregate.
+            assert all(len(m.records) == 2 for m in fleet.shard_metrics())
+
+    def test_deadline_path_aggregates_coherently(self):
+        users, events = _tie_heavy_vectors(4, n_users=20, n_events=8, dim=4)
+        cand = np.arange(8, dtype=np.int64)
+        with ShardedServingEngine(
+            users, events, cand, n_shards=2, cache_size=0
+        ) as fleet:
+            fleet.warm_ladder()
+            out = fleet.recommend_within(3, 5, budget_s=5.0)
+            assert out.answered and out.rung == "full"
+            outs = fleet.recommend_many(
+                list(range(12)), 5, budget_s=5.0, workers=2, queue_depth=4
+            )
+            assert len(outs) == 12  # zero silent drops
+            shed = [o for o in outs if not o.answered]
+            for o in shed:
+                assert o.shed_reason is not None
+
+    def test_closed_engine_refuses_queries(self):
+        users, events = _tie_heavy_vectors(6, n_users=8, n_events=4, dim=3)
+        fleet = ShardedServingEngine(
+            users, events, np.arange(4, dtype=np.int64), n_shards=2
+        )
+        fleet.warm()
+        fleet.close()
+        with pytest.raises(RuntimeError):
+            fleet.query(0, 3)

@@ -57,10 +57,13 @@ class LintConfig:
     docstring_prefixes: tuple[str, ...] = ("repro/serving/",)
 
     #: Files allowed to mutate embedding matrices in place (REP005):
-    #: the trainer (SGD + ReLU projection) and the fold-in optimiser.
+    #: the trainer (SGD + ReLU projection), the fold-in optimiser, and
+    #: the memmap store (whole-matrix copies during the write phase of
+    #: its lifecycle — never element-level updates).
     embedding_mutators: tuple[str, ...] = (
         "repro/core/trainer.py",
         "repro/core/fold_in.py",
+        "repro/core/store.py",
     )
 
     #: Identifiers that reach an :class:`~repro.core.embeddings.EmbeddingSet`

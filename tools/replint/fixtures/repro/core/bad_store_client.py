@@ -1,0 +1,27 @@
+"""Seeded REP005 violations: writes through the memmap store's views.
+
+The :class:`~repro.core.store.MemmapStore` hands out *live* views of
+the mapped matrices.  Writing through them from any module other than
+``core/trainer.py``, ``core/fold_in.py`` or ``core/store.py`` escapes
+the write-confinement boundary exactly like mutating an in-memory
+``EmbeddingSet`` would — the bytes land in the shared on-disk copy that
+every Hogwild worker and serving shard maps.  replint must flag these
+no matter how the matrix was obtained; tests/test_replint.py pins it.
+"""
+
+import numpy as np
+
+
+def poke_mapped_matrix(store) -> None:
+    embeddings = store.embeddings()
+    user_vectors = embeddings.users
+    user_vectors[3, 0] = 9.9  # REP005: subscript write outside the boundary
+    embeddings.matrices[0][:] = 0.0  # REP005: wholesale overwrite of a view
+
+
+def drift_through_store_views(store, grad: np.ndarray) -> None:
+    event_vectors = store.embeddings().events
+    np.multiply(
+        event_vectors, 0.5, out=event_vectors
+    )  # REP005: out= write lands in the mapped file
+    event_vectors[grad.shape[0]:] = 0.0  # REP005: slice write via the view
