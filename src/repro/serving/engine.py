@@ -806,10 +806,10 @@ class ServingEngine:
         fault_point("backend.truncated")
         space = self._space
         assert space is not None
+        with self._cache_lock:
+            rows_per_s = self._trunc_rows_per_s
         planned = int(
-            self._trunc_rows_per_s
-            * max(remaining_s, 1e-4)
-            * _TRUNC_BUDGET_FRACTION
+            rows_per_s * max(remaining_s, 1e-4) * _TRUNC_BUDGET_FRACTION
         )
         m = max(min(space.n_pairs, planned), min(space.n_pairs, 8 * n))
         with _Timer() as t:
@@ -830,9 +830,10 @@ class ServingEngine:
             order = order[np.isfinite(scores[order])]
         if t.seconds > 0:
             observed = m / t.seconds
-            self._trunc_rows_per_s = (
-                0.3 * observed + 0.7 * self._trunc_rows_per_s
-            )
+            with self._cache_lock:
+                self._trunc_rows_per_s = (
+                    0.3 * observed + 0.7 * self._trunc_rows_per_s
+                )
         return RetrievalResult(
             pair_indices=order.astype(np.int64),
             scores=scores[order].astype(np.float64),
