@@ -367,13 +367,17 @@ class ShardedServingEngine:
         per-shard sort order the restriction of the global one.
         """
         self.warm()
-        assert self._built_events is not None
+        # Snapshot the build-time constants under the build lock: a
+        # concurrent rebuild/refresh rewrites them, and a torn pair
+        # (old count, new k) would silently mis-map indices.
+        with self._build_lock:
+            k = self._built_k
+            e0 = self._built_events
+        assert e0 is not None
         local = np.asarray(local_idx, dtype=np.int64)
         off = self._offsets[shard]
         p_s = self._sizes[shard]
         p_all = int(self.candidate_partners.size)
-        k = self._built_k
-        e0 = self._built_events
         if k is None:
             base_s = e0 * p_s
             base_g = e0 * p_all
