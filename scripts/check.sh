@@ -5,21 +5,26 @@
 #
 # Stages:
 #   1. ruff    — general Python lint (E4/E7/E9/F + bugbear + numpy rules)
-#   2. replint — the project-specific invariant linter (REP001-REP006;
-#                see tools/replint/__init__.py).  Always runs: it is
-#                stdlib-only and lives in this repo.
+#   2. replint — the project-specific invariant linter (REP001-REP006
+#                per-file, REP007-REP010 project-aware concurrency and
+#                lifecycle passes; see tools/replint/__init__.py).
+#                Always runs: it is stdlib-only and lives in this repo.
 #   3. mypy    — the strict typing gate over src/repro (pyproject.toml)
 #   4. pytest  — the tier-1 suite from ROADMAP.md, with runtime
 #                shape/dtype contracts enabled
-#   5. load smoke — the serving load harness with injected 50 ms backend
+#   5. tsan stress — the sanitizer self-tests plus the threaded serving
+#                suite under REPRO_TSAN=1: every guarded-by declaration
+#                is checked at runtime while real threads hammer the
+#                engine (src/repro/sanitizer.py; DESIGN.md §7)
+#   6. load smoke — the serving load harness with injected 50 ms backend
 #                stalls on a tiny synthetic preset, asserting p99 within
 #                the deadline budget and zero silent drops
 #                (benchmarks/load_harness.py; see docs/OPERATIONS.md)
-#   6. training smoke — the training throughput harness on the tiny
+#   7. training smoke — the training throughput harness on the tiny
 #                preset, asserting the batched train() path is at least
 #                3x the single-step reference path
 #                (benchmarks/train_harness.py; see DESIGN.md §9)
-#   7. sharded smoke — the capacity mode of the load harness on the
+#   8. sharded smoke — the capacity mode of the load harness on the
 #                tiny preset with 2 shards over a freshly frozen memmap
 #                store, asserting every sampled sharded top-n is
 #                bit-identical to a single-index reference engine
@@ -59,6 +64,10 @@ fi
 
 echo "== tier-1 tests =="
 REPRO_CONTRACTS=1 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
+
+echo "== lock-coverage sanitizer stress (REPRO_TSAN=1) =="
+REPRO_TSAN=1 REPRO_CONTRACTS=1 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+    python -m pytest tests/test_sanitizer.py tests/test_serving.py -x -q
 
 echo "== serving load smoke =="
 PYTHONPATH=src:.${PYTHONPATH:+:$PYTHONPATH} python benchmarks/load_harness.py \

@@ -50,6 +50,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.online.pruning import build_pruned_pair_space
+from repro.sanitizer import tsan_lock
 from repro.online.ta import RetrievalResult, ThresholdAlgorithmIndex
 from repro.online.transform import (
     PairSpace,
@@ -222,20 +223,21 @@ class ServingEngine:
         # `is not None` matters: an empty registry is falsy via __len__.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.ladder = ladder if ladder is not None else LadderPolicy()
-        self.profiler = profiler if profiler is not None else NULL_PROFILER
-        self.build_stats = BuildStats()
+        self.profiler = profiler if profiler is not None else NULL_PROFILER  # replint: guarded-by(_build_lock)
+        self.build_stats = BuildStats()  # replint: guarded-by(_build_lock)
         self._version = 1
         self._space: PairSpace | None = None
-        self._cache: OrderedDict[tuple, RetrievalResult] = OrderedDict()
+        self._cache: OrderedDict[tuple, RetrievalResult] = OrderedDict()  # replint: guarded-by(_cache_lock)
         # Stale-answer cache: (user, n) -> (version, result, space); kept
         # across version bumps on purpose — it backs the stale_cache rung.
+        # replint: guarded-by(_cache_lock)
         self._stale: OrderedDict[
             tuple[int, int], tuple[int, RetrievalResult, PairSpace]
         ] = OrderedDict()
         self._pruned_index: ThresholdAlgorithmIndex | None = None
-        self._trunc_rows_per_s = _TRUNC_INITIAL_ROWS_PER_S
-        self._build_lock = threading.RLock()
-        self._cache_lock = threading.Lock()
+        self._trunc_rows_per_s = _TRUNC_INITIAL_ROWS_PER_S  # replint: guarded-by(_cache_lock)
+        self._build_lock = tsan_lock(threading.RLock(), "_build_lock")
+        self._cache_lock = tsan_lock(threading.Lock(), "_cache_lock")
 
     # ------------------------------------------------------------------
     # introspection
@@ -806,6 +808,9 @@ class ServingEngine:
         fault_point("backend.truncated")
         space = self._space
         assert space is not None
+        # Snapshot the throughput estimate under the cache lock: the EWMA
+        # is shared mutable state updated by every concurrent truncated
+        # query (REP007 guards it).
         with self._cache_lock:
             rows_per_s = self._trunc_rows_per_s
         planned = int(

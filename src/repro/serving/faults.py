@@ -48,6 +48,8 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.sanitizer import tsan_lock
+
 __all__ = [
     "FaultPlan",
     "FaultSpec",
@@ -108,8 +110,8 @@ class FaultPlan:
             if spec.site in self._specs:
                 raise ValueError(f"duplicate fault site {spec.site!r}")
             self._specs[spec.site] = spec
-        self._rng = np.random.default_rng(seed)
-        self._lock = threading.Lock()
+        self._rng = np.random.default_rng(seed)  # replint: guarded-by(_lock)
+        self._lock = tsan_lock(threading.Lock(), "_lock")
 
     @property
     def sites(self) -> tuple[str, ...]:

@@ -43,6 +43,8 @@ from __future__ import annotations
 
 import threading
 import time
+
+from repro.sanitizer import tsan_lock
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -145,8 +147,8 @@ class LadderPolicy:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
         self.safety = float(safety)
         self.alpha = float(alpha)
-        self._lock = threading.Lock()
-        self._estimate_s: dict[str, float] = {}
+        self._lock = tsan_lock(threading.Lock(), "_lock")
+        self._estimate_s: dict[str, float] = {}  # replint: guarded-by(_lock)
 
     def estimate(self, rung: str) -> float:
         """The current latency estimate for ``rung`` (0.0 = unobserved)."""
@@ -236,10 +238,10 @@ class AdmissionController:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self.metrics = metrics
-        self._lock = threading.Lock()
-        self._pending = 0
-        self._n_admitted = 0
-        self._n_shed = 0
+        self._lock = tsan_lock(threading.Lock(), "_lock")
+        self._pending = 0  # replint: guarded-by(_lock)
+        self._n_admitted = 0  # replint: guarded-by(_lock)
+        self._n_shed = 0  # replint: guarded-by(_lock)
 
     @property
     def pending(self) -> int:

@@ -73,6 +73,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.online.ta import RetrievalResult
+from repro.sanitizer import tsan_lock
 from repro.serving.backends import create_backend
 from repro.serving.engine import Recommendation, ServingEngine
 from repro.serving.lifecycle import (
@@ -201,7 +202,7 @@ class ShardedServingEngine:
         self.backend_name = backend
         self.top_k_events = top_k_events
         self.candidate_partners = candidate_partners
-        self.candidate_events = np.asarray(candidate_events, dtype=np.int64)
+        self.candidate_events = np.asarray(candidate_events, dtype=np.int64)  # replint: guarded-by(_build_lock)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._prunes_by_default = bool(
             getattr(create_backend(backend), "prunes_by_default", False)
@@ -226,9 +227,9 @@ class ShardedServingEngine:
             )
             for part in slices
         ]
-        self._built_events: int | None = None  # candidate count at build
-        self._built_k: int | None = None  # effective pruning k at build
-        self._build_lock = threading.RLock()
+        self._built_events: int | None = None  # replint: guarded-by(_build_lock)
+        self._built_k: int | None = None  # replint: guarded-by(_build_lock)
+        self._build_lock = tsan_lock(threading.RLock(), "_build_lock")
         self._pool = ThreadPoolExecutor(
             max_workers=self.n_shards, thread_name_prefix="shard-fanout"
         )

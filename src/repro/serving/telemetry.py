@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import threading
 import time
+
+from repro.sanitizer import tsan_lock
 from dataclasses import dataclass, fields
 
 
@@ -136,9 +138,9 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._records: list[QueryStats] = []
-        self._sheds: dict[str, int] = {}
+        self._lock = tsan_lock(threading.Lock(), "_lock")
+        self._records: list[QueryStats] = []  # replint: guarded-by(_lock)
+        self._sheds: dict[str, int] = {}  # replint: guarded-by(_lock)
 
     # ------------------------------------------------------------------
     def record(self, stats: QueryStats) -> None:

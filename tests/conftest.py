@@ -52,3 +52,15 @@ def tiny_bundle(tiny_split) -> GraphBundle:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _tsan_clean_at_exit():
+    """Under REPRO_TSAN=1, fail the run if any test left a lock-coverage
+    violation behind: every guarded attribute access in the whole suite
+    must have held its declared lock."""
+    yield
+    from repro import sanitizer
+
+    if sanitizer.enabled():
+        assert sanitizer.violations() == [], sanitizer.report()

@@ -431,6 +431,374 @@ class TestRep006:
 
 
 # ----------------------------------------------------------------------
+# REP007 — lock discipline for guarded attributes
+# ----------------------------------------------------------------------
+class TestRep007:
+    HEADER = (
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._n = 0  # replint: guarded-by(_lock)\n"
+    )
+
+    def test_flags_unlocked_access(self):
+        src = self.HEADER + "    def bump(self):\n        self._n += 1\n"
+        assert codes(src, SERVING_PATH, ["REP007"]) == ["REP007"]
+
+    def test_access_under_with_is_clean(self):
+        src = self.HEADER + (
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._n += 1\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP007"]) == []
+
+    def test_transitively_proven_helper_is_clean(self):
+        src = self.HEADER + (
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._incr()\n"
+            "    def _incr(self):\n"
+            "        self._n += 1\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP007"]) == []
+
+    def test_helper_with_unlocked_caller_is_flagged(self):
+        src = self.HEADER + (
+            "    def bump(self):\n"
+            "        self._incr()\n"
+            "    def _incr(self):\n"
+            "        self._n += 1\n"
+        )
+        out = lint_source(src, SERVING_PATH, select=["REP007"])
+        assert [v.code for v in out] == ["REP007"]
+        assert "_incr" in out[0].message
+
+    def test_public_method_gets_no_hold_credit(self):
+        # Public methods are entry points even when also called
+        # internally under the lock.
+        src = self.HEADER + (
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self.incr()\n"
+            "    def incr(self):\n"
+            "        self._n += 1\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP007"]) == ["REP007"]
+
+    def test_init_is_exempt(self):
+        # The constructor writes happen before the object escapes.
+        assert codes(self.HEADER, SERVING_PATH, ["REP007"]) == []
+
+    def test_pragma_on_preceding_line_binds_to_next_assignment(self):
+        src = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        # replint: guarded-by(_lock)\n"
+            "        self._n = 0\n"
+            "    def bump(self):\n"
+            "        self._n += 1\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP007"]) == ["REP007"]
+
+    def test_inline_pragma_does_not_leak_to_next_line(self):
+        src = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._a = 0  # replint: guarded-by(_lock)\n"
+            "        self._b = 0\n"
+            "    def read_b(self):\n"
+            "        return self._b\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP007"]) == []
+
+    def test_unknown_lock_name_is_flagged(self):
+        src = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._n = 0  # replint: guarded-by(_missing)\n"
+        )
+        out = lint_source(src, SERVING_PATH, select=["REP007"])
+        assert [v.code for v in out] == ["REP007"]
+        assert "_missing" in out[0].message
+
+    def test_allow_pragma_suppresses(self):
+        src = self.HEADER + (
+            "    def bump(self):\n"
+            "        self._n += 1  # replint: allow(REP007)\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP007"]) == []
+
+    def test_applies_outside_serving_too(self):
+        src = self.HEADER + "    def bump(self):\n        self._n += 1\n"
+        assert codes(src, OTHER_PATH, ["REP007"]) == ["REP007"]
+
+    def test_fixture_seeds_exactly_three(self):
+        fixture = (
+            REPO_ROOT
+            / "tools/replint/fixtures/repro/serving/bad_lock_discipline.py"
+        )
+        found = [v for v in lint_paths([str(fixture)]) if v.code == "REP007"]
+        assert [v.line for v in found] == [25, 30, 39]
+
+
+# ----------------------------------------------------------------------
+# REP008 — lock acquisition ordering
+# ----------------------------------------------------------------------
+class TestRep008:
+    HEADER = (
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._a = threading.Lock()\n"
+        "        self._b = threading.Lock()\n"
+    )
+
+    def test_flags_abba_cycle_once_per_edge(self):
+        src = self.HEADER + (
+            "    def f(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n"
+            "    def g(self):\n"
+            "        with self._b:\n"
+            "            with self._a:\n"
+            "                pass\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP008"]) == ["REP008", "REP008"]
+
+    def test_consistent_order_is_clean(self):
+        src = self.HEADER + (
+            "    def f(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n"
+            "    def g(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP008"]) == []
+
+    def test_transitive_edge_through_helper_is_flagged(self):
+        src = self.HEADER + (
+            "    def f(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n"
+            "    def g(self):\n"
+            "        with self._b:\n"
+            "            self._grab_a()\n"
+            "    def _grab_a(self):\n"
+            "        with self._a:\n"
+            "            pass\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP008"]) == ["REP008", "REP008"]
+
+    def test_reentrant_single_lock_is_clean(self):
+        src = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.RLock()\n"
+            "        self._b = threading.Lock()\n"
+            "    def f(self):\n"
+            "        with self._a:\n"
+            "            with self._a:\n"
+            "                pass\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP008"]) == []
+
+    def test_fixture_seeds_exactly_two(self):
+        fixture = (
+            REPO_ROOT / "tools/replint/fixtures/repro/serving/bad_lock_order.py"
+        )
+        found = [v for v in lint_paths([str(fixture)]) if v.code == "REP008"]
+        assert [v.line for v in found] == [24, 30]
+
+
+# ----------------------------------------------------------------------
+# REP009 — MemmapStore write -> freeze -> serve lifecycle
+# ----------------------------------------------------------------------
+class TestRep009:
+    def test_flags_write_through_frozen_store(self):
+        src = (
+            "def f(d):\n"
+            "    store = MemmapStore.open(d)\n"
+            "    store.fill_random(seed=1)\n"
+        )
+        assert codes(src, OTHER_PATH, ["REP009"]) == ["REP009"]
+
+    def test_writable_open_is_clean(self):
+        src = (
+            "def f(d):\n"
+            "    store = MemmapStore.open(d, writable=True)\n"
+            "    store.fill_random(seed=1)\n"
+        )
+        assert codes(src, OTHER_PATH, ["REP009"]) == []
+
+    def test_flags_serving_over_writable_views(self):
+        src = (
+            "def f(d):\n"
+            "    store = MemmapStore.create(d, {'users': 2}, dim=3)\n"
+            "    emb = store.embeddings()\n"
+            "    return ServingEngine(emb.users, emb.events, emb.event_ids)\n"
+        )
+        assert codes(src, OTHER_PATH, ["REP009"]) == ["REP009"]
+
+    def test_freeze_then_serve_is_clean(self):
+        src = (
+            "def f(d):\n"
+            "    store = MemmapStore.create(d, {'users': 2}, dim=3)\n"
+            "    store.fill_random(seed=0)\n"
+            "    store.freeze()\n"
+            "    emb = store.embeddings()\n"
+            "    return ServingEngine(emb.users, emb.events, emb.event_ids)\n"
+        )
+        assert codes(src, OTHER_PATH, ["REP009"]) == []
+
+    def test_parameter_store_state_is_unknown(self):
+        # A store received as a parameter could be in either state;
+        # the pass only tracks provenance it can see.
+        src = "def f(store):\n    store.fill_random(seed=1)\n"
+        assert codes(src, OTHER_PATH, ["REP009"]) == []
+
+    def test_fixture_seeds_exactly_three(self):
+        fixture = (
+            REPO_ROOT
+            / "tools/replint/fixtures/repro/core/bad_store_lifecycle.py"
+        )
+        found = [v for v in lint_paths([str(fixture)]) if v.code == "REP009"]
+        assert [v.line for v in found] == [21, 27, 39]
+
+
+# ----------------------------------------------------------------------
+# REP010 — request outcome exhaustiveness
+# ----------------------------------------------------------------------
+class TestRep010:
+    def test_flags_answered_without_stats(self):
+        src = (
+            "def f(user: int) -> RequestOutcome:\n"
+            "    return RequestOutcome(user=user, n=1, answered=True)\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP010"]) == ["REP010"]
+
+    def test_answered_with_stats_is_clean(self):
+        src = (
+            "def f(user: int, stats: QueryStats) -> RequestOutcome:\n"
+            "    return RequestOutcome(\n"
+            "        user=user, n=1, answered=True, stats=stats\n"
+            "    )\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP010"]) == []
+
+    def test_flags_undeclared_shed_reason(self):
+        src = (
+            "def f(user: int) -> RequestOutcome:\n"
+            "    return RequestOutcome(\n"
+            "        user=user, n=1, answered=False, shed_reason='because'\n"
+            "    )\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP010"]) == ["REP010"]
+
+    def test_declared_shed_reason_is_clean(self):
+        src = (
+            "def f(user: int) -> RequestOutcome:\n"
+            "    return RequestOutcome(\n"
+            "        user=user, n=1, answered=False,\n"
+            "        shed_reason='deadline_expired',\n"
+            "    )\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP010"]) == []
+
+    def test_flags_fall_off_the_end(self):
+        src = (
+            "def f(user: int) -> RequestOutcome:\n"
+            "    if user % 2:\n"
+            "        return RequestOutcome(\n"
+            "            user=user, n=1, answered=False,\n"
+            "            shed_reason='queue_full',\n"
+            "        )\n"
+        )
+        out = lint_source(src, SERVING_PATH, select=["REP010"])
+        assert [v.code for v in out] == ["REP010"]
+        assert out[0].line == 1  # anchored at the def line
+
+    def test_exhaustive_if_else_is_clean(self):
+        src = (
+            "def f(user: int) -> RequestOutcome:\n"
+            "    if user % 2:\n"
+            "        return RequestOutcome(\n"
+            "            user=user, n=1, answered=False,\n"
+            "            shed_reason='queue_full',\n"
+            "        )\n"
+            "    else:\n"
+            "        return RequestOutcome(\n"
+            "            user=user, n=1, answered=False,\n"
+            "            shed_reason='deadline_expired',\n"
+            "        )\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP010"]) == []
+
+    def test_flags_bare_return(self):
+        src = (
+            "def f(user: int) -> RequestOutcome:\n"
+            "    return\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP010"]) == ["REP010"]
+
+    def test_delegation_to_outcome_returner_is_clean(self):
+        src = (
+            "class C:\n"
+            "    def inner(self, user: int) -> RequestOutcome:\n"
+            "        return RequestOutcome(\n"
+            "            user=user, n=1, answered=False,\n"
+            "            shed_reason='queue_full',\n"
+            "        )\n"
+            "    def outer(self, user: int) -> RequestOutcome:\n"
+            "        return self.inner(user)\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP010"]) == []
+
+    def test_flags_undeclared_rung_label(self):
+        src = (
+            "def f() -> QueryStats:\n"
+            "    return QueryStats(rung='turbo')\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP010"]) == ["REP010"]
+
+    def test_declared_rung_label_is_clean(self):
+        src = (
+            "def f() -> QueryStats:\n"
+            "    return QueryStats(rung='truncated')\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP010"]) == []
+
+    def test_not_applied_outside_serving(self):
+        src = (
+            "def f(user: int) -> RequestOutcome:\n"
+            "    if user % 2:\n"
+            "        return RequestOutcome(user=user, n=1, answered=True)\n"
+        )
+        assert codes(src, CORE_PATH, ["REP010"]) == []
+        assert codes(src, TEST_PATH, ["REP010"]) == []
+
+    def test_fixture_seeds_exactly_four(self):
+        fixture = (
+            REPO_ROOT
+            / "tools/replint/fixtures/repro/serving/bad_outcome_path.py"
+        )
+        found = [v for v in lint_paths([str(fixture)]) if v.code == "REP010"]
+        assert [v.line for v in found] == [20, 24, 28, 37]
+
+
+# ----------------------------------------------------------------------
 # Runner / CLI
 # ----------------------------------------------------------------------
 class TestRunner:
@@ -442,7 +810,7 @@ class TestRunner:
         with pytest.raises(ValueError, match="unknown rule"):
             lint_source("x = 1\n", OTHER_PATH, select=["REP999"])
 
-    def test_rule_codes_are_the_documented_six(self):
+    def test_rule_codes_are_the_documented_ten(self):
         assert RULE_CODES == (
             "REP001",
             "REP002",
@@ -450,6 +818,10 @@ class TestRunner:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
+            "REP008",
+            "REP009",
+            "REP010",
         )
 
     def test_repo_src_is_clean(self):
@@ -475,3 +847,61 @@ class TestRunner:
         out = capsys.readouterr().out
         for code in RULE_CODES:
             assert code in out
+
+    def test_cli_output_is_deterministic(self, capsys):
+        fixtures = str(REPO_ROOT / "tools/replint/fixtures")
+        main([fixtures])
+        first = capsys.readouterr().out
+        main([fixtures])
+        second = capsys.readouterr().out
+        assert first == second
+        lines = [ln for ln in first.splitlines() if ln.strip()]
+        assert lines == sorted(lines)
+
+
+# ----------------------------------------------------------------------
+# Baseline workflow
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_write_then_apply_round_trip(self, tmp_path, capsys):
+        fixtures = str(REPO_ROOT / "tools/replint/fixtures")
+        baseline = tmp_path / "replint-baseline.txt"
+
+        # Writing the baseline exits 0 even though violations exist.
+        assert main(["--write-baseline", str(baseline), fixtures]) == 0
+        capsys.readouterr()
+
+        # With every finding baselined the same run is clean.
+        assert main(["--baseline", str(baseline), fixtures]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "baselined" in captured.err
+        assert "ok" in captured.err
+
+    def test_new_violations_still_fail_with_baseline(self, tmp_path, capsys):
+        fixtures = str(REPO_ROOT / "tools/replint/fixtures")
+        baseline = tmp_path / "empty.txt"
+        baseline.write_text("# nothing baselined\n")
+        assert main(["--baseline", str(baseline), fixtures]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_baseline_is_line_number_independent(self, tmp_path):
+        from replint.runner import fingerprint, load_baseline, write_baseline
+        from replint.diagnostics import Violation
+
+        v = Violation(
+            path="src/x.py", line=10, code="REP007", message="m", col=0
+        )
+        moved = Violation(
+            path="src/x.py", line=99, code="REP007", message="m", col=4
+        )
+        assert fingerprint(v) == fingerprint(moved)
+
+        path = tmp_path / "b.txt"
+        write_baseline([v], str(path))
+        assert fingerprint(moved) in load_baseline(str(path))
+
+    def test_missing_baseline_file_exits_two(self, capsys):
+        fixtures = str(REPO_ROOT / "tools/replint/fixtures")
+        assert main(["--baseline", "no/such/baseline.txt", fixtures]) == 2
+        assert "error" in capsys.readouterr().err

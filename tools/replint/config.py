@@ -74,6 +74,34 @@ class LintConfig:
         )
     )
 
+    #: Serving modules proper (REP010 scans these for outcome/rung/shed
+    #: discipline; the guarded-by annotation language is expected here).
+    serving_prefixes: tuple[str, ...] = ("repro/serving/",)
+
+    #: Fallback degradation-ladder rungs and shed reasons for REP010.
+    #: When ``repro/serving/lifecycle.py`` is part of the lint run, the
+    #: declared ``RUNGS`` tuple and ``SHED_*`` constants extracted from
+    #: it override these (they are kept in sync as a convenience for
+    #: fixture-only runs and unit tests).
+    declared_rungs: tuple[str, ...] = (
+        "full",
+        "pruned",
+        "truncated",
+        "stale_cache",
+    )
+    declared_shed_reasons: tuple[str, ...] = (
+        "queue_full",
+        "deadline_expired",
+        "rungs_exhausted",
+    )
+
+    #: MemmapStore methods that require write state (REP009).
+    store_write_ops: tuple[str, ...] = ("fill_random", "load_from")
+
+    #: Constructors that mark the serve side of the store lifecycle:
+    #: feeding them views of a still-writable store is REP009.
+    serving_sinks: tuple[str, ...] = ("ServingEngine", "ShardedServingEngine")
+
     #: ``np.random`` attributes that are legitimate *constructors* of
     #: generator machinery rather than draws from the global state.
     rng_constructors: frozenset[str] = field(
@@ -128,6 +156,12 @@ class LintConfig:
     def requires_docstrings(self, path: str) -> bool:
         return not self.is_test_file(path) and self._suffix_match(
             path, self.docstring_prefixes
+        )
+
+    def is_serving(self, path: str) -> bool:
+        """REP010 scope: the serving modules (and serving fixtures)."""
+        return not self.is_test_file(path) and self._suffix_match(
+            path, self.serving_prefixes
         )
 
     def may_mutate_embeddings(self, path: str) -> bool:

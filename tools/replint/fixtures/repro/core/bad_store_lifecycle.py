@@ -1,0 +1,50 @@
+"""Seeded REP009 violations: MemmapStore lifecycle misuse.
+
+Meant to be *wrong*: three lifecycle violations — serving straight off
+a writable store, writing through a frozen one, and laundering writable
+views through a helper — plus one deliberately clean write->freeze->
+serve path.  The self-test in ``tests/test_replint.py`` pins exactly
+three REP009 findings here.
+"""
+
+from repro.core.embeddings import EmbeddingSet
+from repro.core.store import MemmapStore
+from repro.serving.engine import ServingEngine
+from repro.serving.sharded import ShardedServingEngine
+
+
+def serve_before_freeze(directory: str) -> ServingEngine:
+    """Builds a serving engine over views of a still-writable store."""
+    store = MemmapStore.create(directory, {"users": 8, "events": 4}, dim=3)
+    store.fill_random(seed=0)  # clean: the store is in write state
+    emb = store.embeddings()
+    return ServingEngine(emb.users, emb.events, emb.event_ids)  # REP009
+
+
+def overwrite_frozen(directory: str) -> None:
+    """Writes through a store that was opened read-only."""
+    store = MemmapStore.open(directory)
+    store.fill_random(seed=1)  # REP009: write op on a frozen store
+
+
+def _writable_views(store: MemmapStore) -> EmbeddingSet:
+    # The laundering helper: returns live views of its argument.
+    return store.embeddings()
+
+
+def serve_laundered(directory: str, emb: EmbeddingSet) -> ShardedServingEngine:
+    """Reaches a serving engine through the laundering helper."""
+    store = MemmapStore.from_embeddings(directory, emb)
+    views = _writable_views(store)
+    return ShardedServingEngine(  # REP009: laundered writable views
+        views.users, views.events, views.event_ids, n_shards=2
+    )
+
+
+def freeze_then_serve(directory: str) -> ServingEngine:
+    """Clean: freeze() dominates the serve-side use of the views."""
+    store = MemmapStore.create(directory, {"users": 8, "events": 4}, dim=3)
+    store.fill_random(seed=2)
+    store.freeze()
+    emb = store.embeddings()
+    return ServingEngine(emb.users, emb.events, emb.event_ids)

@@ -1,0 +1,49 @@
+"""Seeded REP007 violations: guarded attributes touched without the lock.
+
+This module is meant to be *wrong* — it seeds exactly three lock-
+discipline violations (and two deliberately clean accesses) so the
+self-test in ``tests/test_replint.py`` can assert the pass fires, and
+only where it should.  It is REP002/REP003/REP006-clean on purpose so
+the fixture exercises a single rule.
+"""
+
+import threading
+
+
+class LeakyCounter:
+    """A cache whose counter and table are declared lock-guarded."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._hits = 0  # replint: guarded-by(_lock)
+        self._table: dict[int, int] = {}  # replint: guarded-by(_lock)
+
+    def get(self, key: int) -> "int | None":
+        """Reads under the lock, then bumps the counter outside it."""
+        with self._lock:
+            value = self._table.get(key)
+        self._hits += 1  # REP007: read-modify-write after the with block
+        return value
+
+    def put(self, key: int, value: int) -> None:
+        """Writes the guarded table with no lock at all."""
+        self._table[key] = value  # REP007: unlocked write
+
+    def drain(self) -> None:
+        """Calls the flush helper from an unlocked context."""
+        self._flush()
+
+    def _flush(self) -> None:
+        # REP007: the only internal caller (drain) does not hold _lock,
+        # so the transitive-hold proof fails here.
+        self._table.clear()
+
+    def snapshot(self) -> "dict[int, int]":
+        """Clean: locked scope plus a transitively-proven helper."""
+        with self._lock:
+            return self._copy_locked()
+
+    def _copy_locked(self) -> "dict[int, int]":
+        # Clean: every internal call site holds _lock.
+        self._hits += 0
+        return dict(self._table)

@@ -1,0 +1,40 @@
+"""Seeded REP008 violations: a two-lock acquisition-order cycle.
+
+Meant to be *wrong*: ``forward`` takes ``_a`` then ``_b``; ``backward``
+takes ``_b`` and then acquires ``_a`` through a helper call — the
+classic ABBA deadlock.  Exactly two edges participate in the cycle, so
+the self-test pins exactly two REP008 findings (one per edge).  The
+consistent ``both_forward`` path is clean.
+"""
+
+import threading
+
+
+class AbbaPair:
+    """Two locks acquired in opposite orders on different paths."""
+
+    def __init__(self) -> None:
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.steps = 0
+
+    def forward(self) -> None:
+        """Acquires _a then _b."""
+        with self._a:
+            with self._b:  # REP008: a -> b edge of the cycle
+                self.steps += 1
+
+    def backward(self) -> None:
+        """Acquires _b, then _a through a helper (transitive edge)."""
+        with self._b:
+            self._grab_a()  # REP008: b -> a edge of the cycle
+
+    def _grab_a(self) -> None:
+        with self._a:
+            self.steps += 1
+
+    def both_forward(self) -> None:
+        """Clean: same order as forward, no new edge direction."""
+        with self._a:
+            with self._b:
+                self.steps += 2

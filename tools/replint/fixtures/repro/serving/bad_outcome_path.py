@@ -1,0 +1,52 @@
+"""Seeded REP010 violations: unaccounted request outcomes.
+
+Meant to be *wrong*: four outcome-exhaustiveness violations — an
+answered outcome with no stats, a shed reason outside the declared set,
+an exit path that falls off the end, and a rung label outside the
+declared ladder — plus one deliberately clean delegation path.  The
+self-test in ``tests/test_replint.py`` pins exactly four REP010
+findings here.
+"""
+
+from repro.serving.lifecycle import RequestOutcome
+from repro.serving.telemetry import QueryStats
+
+
+class DropProne:
+    """A merge-like surface that mislabels or silently drops requests."""
+
+    def answer_without_stats(self, user: int) -> RequestOutcome:
+        """Answered outcome missing its stats record."""
+        return RequestOutcome(user=user, n=1, answered=True)  # REP010
+
+    def shed_with_adhoc_reason(self, user: int) -> RequestOutcome:
+        """Shed with a reason outside the declared set."""
+        return RequestOutcome(  # REP010: undeclared shed reason
+            user=user, n=1, answered=False, shed_reason="because"
+        )
+
+    def silent_drop(self, user: int) -> RequestOutcome:  # REP010: implicit None
+        """Falls off the end when the user id is even."""
+        if user % 2:
+            return RequestOutcome(
+                user=user, n=1, answered=False, shed_reason="queue_full"
+            )
+
+    def label_unknown_rung(self, user: int) -> QueryStats:
+        """Records a rung outside the declared ladder."""
+        return QueryStats(
+            user=user,
+            n=1,
+            backend="bruteforce",
+            version=1,
+            n_candidates=0,
+            n_examined=0,
+            n_sorted_accesses=0,
+            fraction_examined=0.0,
+            seconds_total=0.0,
+            rung="turbo",  # REP010: not a declared rung
+        )
+
+    def delegate(self, user: int) -> RequestOutcome:
+        """Clean: delegates to a method annotated ``-> RequestOutcome``."""
+        return self.answer_without_stats(user)

@@ -1,9 +1,10 @@
-"""The six project rules, implemented over the stdlib AST.
+"""The per-file rules (REP001-REP006), implemented over the stdlib AST.
 
 Each rule is a stateless object with a ``code``, a one-line ``summary``,
 an ``applies(path, config)`` scope predicate, and a
 ``check(tree, path, config)`` generator of :class:`Violation` records.
-Suppression pragmas are applied by the runner, not the rules.
+Suppression pragmas are applied by the runner, not the rules.  The
+project-aware passes (REP007-REP010) live in :mod:`replint.project`.
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ from typing import Iterator
 
 from replint.config import LintConfig
 from replint.diagnostics import Violation
+from replint.project import PROJECT_RULE_CODES
 
 # ----------------------------------------------------------------------
 # Shared AST helpers
@@ -484,4 +486,8 @@ ALL_RULES = (
     MissingDocstring(),
 )
 
-RULE_CODES = tuple(rule.code for rule in ALL_RULES)
+FILE_RULE_CODES = tuple(rule.code for rule in ALL_RULES)
+
+# The full documented set: per-file rules above plus the project-aware
+# passes (REP007-REP010) from replint.project.
+RULE_CODES = FILE_RULE_CODES + PROJECT_RULE_CODES

@@ -1,4 +1,18 @@
-"""File discovery, rule execution and reporting for replint."""
+"""File discovery, rule execution and reporting for replint.
+
+Two layers run over every lint invocation:
+
+* the **per-file rules** (REP001-REP006, :mod:`replint.rules`), which
+  see one parsed module at a time; and
+* the **project passes** (REP007-REP010, :mod:`replint.project`), which
+  see every non-test module of the run at once — that is what lets them
+  build symbol tables, call graphs and the store-lifecycle summaries.
+
+Output is deterministic: files are discovered once in sorted order,
+violations are deduplicated and globally sorted by (path, line, col,
+code, message), and the exit code depends only on the final (baseline-
+filtered) violation list.
+"""
 
 from __future__ import annotations
 
@@ -9,18 +23,68 @@ from typing import Iterable, Sequence
 
 from replint.config import LintConfig
 from replint.diagnostics import Suppressions, Violation, scan_pragmas
+from replint.project import PROJECT_RULES, ModuleInfo, Project, build_module
 from replint.rules import ALL_RULES, RULE_CODES
 
 
-def _select_rules(select: Sequence[str] | None) -> tuple:
+def _select_rules(select: Sequence[str] | None) -> tuple[tuple, tuple]:
+    """Split a ``--select`` list into (per-file rules, project passes)."""
     if select is None:
-        return ALL_RULES
+        return ALL_RULES, PROJECT_RULES
     unknown = sorted(set(select) - set(RULE_CODES))
     if unknown:
         raise ValueError(
             f"unknown rule code(s) {unknown}; available: {list(RULE_CODES)}"
         )
-    return tuple(rule for rule in ALL_RULES if rule.code in select)
+    return (
+        tuple(rule for rule in ALL_RULES if rule.code in select),
+        tuple(rule for rule in PROJECT_RULES if rule.code in select),
+    )
+
+
+def _lint_tree(
+    tree: ast.Module,
+    path: str,
+    pragmas: Suppressions,
+    config: LintConfig,
+    rules: tuple,
+) -> list[Violation]:
+    violations = [
+        v
+        for rule in rules
+        if rule.applies(path, config)
+        for v in rule.check(tree, path, config)
+        if not pragmas.allows(v.line, v.code)
+    ]
+    # Test files are exempt from every rule, so pragma hygiene is not
+    # enforced there either (their pragmas are inert; pragma-looking
+    # text also appears inside the linter's own test snippets).
+    if not config.is_test_file(path):
+        violations.extend(_malformed_pragmas(pragmas, path))
+    return violations
+
+
+def _project_violations(
+    modules: Sequence[ModuleInfo],
+    config: LintConfig,
+    project_rules: tuple,
+) -> list[Violation]:
+    if not project_rules or not modules:
+        return []
+    project = Project(modules, config)
+    return [
+        v
+        for rule in project_rules
+        for v in rule.check(project, config)
+        if not _module_for(modules, v.path).suppressions.allows(v.line, v.code)
+    ]
+
+
+def _module_for(modules: Sequence[ModuleInfo], path: str) -> ModuleInfo:
+    for module in modules:
+        if module.path == path:
+            return module
+    raise KeyError(path)
 
 
 def lint_source(
@@ -33,10 +97,12 @@ def lint_source(
     """Lint a source string as if it lived at ``path``.
 
     ``path`` drives rule scoping (hot-path, typed-API, test-fixture
-    classification), which is what the rule unit tests exercise.
+    classification), which is what the rule unit tests exercise.  The
+    project passes run over a single-module project, so intra-module
+    REP007-REP010 findings surface here too.
     """
     config = config or LintConfig()
-    rules = _select_rules(select)
+    file_rules, project_rules = _select_rules(select)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -50,19 +116,13 @@ def lint_source(
             )
         ]
     pragmas = scan_pragmas(source)
-    violations = [
-        v
-        for rule in rules
-        if rule.applies(path, config)
-        for v in rule.check(tree, path, config)
-        if not pragmas.allows(v.line, v.code)
-    ]
-    # Test files are exempt from every rule, so pragma hygiene is not
-    # enforced there either (their pragmas are inert; pragma-looking
-    # text also appears inside the linter's own test snippets).
+    violations = _lint_tree(tree, path, pragmas, config, file_rules)
     if not config.is_test_file(path):
-        violations.extend(_malformed_pragmas(pragmas, path))
-    return sorted(violations)
+        module = build_module(path, source, tree, pragmas)
+        violations.extend(
+            _project_violations([module], config, project_rules)
+        )
+    return sorted(set(violations))
 
 
 def _malformed_pragmas(pragmas: Suppressions, path: str) -> list[Violation]:
@@ -87,7 +147,7 @@ def lint_file(
     config: LintConfig | None = None,
     select: Sequence[str] | None = None,
 ) -> list[Violation]:
-    """Lint one file on disk."""
+    """Lint one file on disk (per-file rules + a single-module project)."""
     path = Path(path)
     try:
         source = path.read_text(encoding="utf-8")
@@ -106,14 +166,19 @@ def lint_file(
 
 def _discover(paths: Iterable["str | Path"]) -> list[Path]:
     files: list[Path] = []
+    seen: set[Path] = set()
     for entry in paths:
         p = Path(entry)
         if p.is_dir():
-            files.extend(sorted(p.rglob("*.py")))
+            batch: list[Path] = sorted(p.rglob("*.py"))
         elif p.suffix == ".py" or p.is_file():
-            files.append(p)
+            batch = [p]
         else:
             raise FileNotFoundError(f"no such file or directory: {entry}")
+        for f in batch:
+            if f not in seen:
+                seen.add(f)
+                files.append(f)
     return files
 
 
@@ -124,11 +189,91 @@ def lint_paths(
     select: Sequence[str] | None = None,
 ) -> list[Violation]:
     """Lint files and directory trees; directories are walked for
-    ``*.py`` files."""
+    ``*.py`` files.  All non-test modules of the run form one project
+    for the interprocedural passes."""
+    config = config or LintConfig()
+    file_rules, project_rules = _select_rules(select)
     violations: list[Violation] = []
+    modules: list[ModuleInfo] = []
     for file in _discover(paths):
-        violations.extend(lint_file(file, config=config, select=select))
-    return sorted(violations)
+        path = str(file)
+        try:
+            source = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            violations.append(
+                Violation(
+                    path=path,
+                    line=1,
+                    col=0,
+                    code="REP000",
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    code="REP000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        pragmas = scan_pragmas(source)
+        violations.extend(_lint_tree(tree, path, pragmas, config, file_rules))
+        if not config.is_test_file(path):
+            modules.append(build_module(path, source, tree, pragmas))
+    violations.extend(_project_violations(modules, config, project_rules))
+    return sorted(set(violations))
+
+
+# ---------------------------------------------------------------------------
+# Baseline support
+
+
+def fingerprint(violation: Violation) -> str:
+    """Line-number-independent identity of a finding.
+
+    Baselines must survive unrelated edits to the same file, so the
+    fingerprint deliberately omits line/column.
+    """
+    return f"{violation.path}::{violation.code}::{violation.message}"
+
+
+def load_baseline(path: "str | Path") -> frozenset[str]:
+    """Read a baseline file (one fingerprint per line, ``#`` comments)."""
+    entries: set[str] = set()
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return frozenset(entries)
+
+
+def write_baseline(violations: Sequence[Violation], path: "str | Path") -> int:
+    """Write the fingerprints of ``violations``; returns the entry count."""
+    entries = sorted({fingerprint(v) for v in violations})
+    header = (
+        "# replint baseline: accepted pre-existing findings.\n"
+        "# One 'path::CODE::message' fingerprint per line; regenerate\n"
+        "# with 'python -m replint --write-baseline <file> <paths>'.\n"
+    )
+    Path(path).write_text(
+        header + "".join(f"{e}\n" for e in entries), encoding="utf-8"
+    )
+    return len(entries)
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: frozenset[str]
+) -> tuple[list[Violation], int]:
+    """Split into (kept, suppressed-count) against a baseline set."""
+    kept = [v for v in violations if fingerprint(v) not in baseline]
+    return kept, len(violations) - len(kept)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -139,7 +284,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         prog="replint",
         description=(
             "Project-specific invariant linter for the GEM reproduction "
-            "(rules REP001-REP006; see tools/replint/__init__.py)."
+            "(rules REP001-REP010; see tools/replint/__init__.py)."
         ),
     )
     parser.add_argument(
@@ -152,6 +297,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="comma-separated rule codes to run (default: all)",
     )
     parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "suppress findings whose fingerprints appear in FILE "
+            "(accepted pre-existing findings don't fail the run)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the current findings' fingerprints to FILE and exit 0",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rules and exit"
     )
     parser.add_argument(
@@ -161,25 +319,44 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in ALL_RULES:
+        for rule in (*ALL_RULES, *PROJECT_RULES):
             print(f"{rule.code}  {rule.summary}")
         return 0
 
     select = args.select.split(",") if args.select else None
     try:
-        violations = lint_paths(args.paths, select=select)
+        files = _discover(args.paths)
+        violations = lint_paths(files, select=select)
     except (FileNotFoundError, ValueError) as exc:
         print(f"replint: error: {exc}", file=sys.stderr)
         return 2
 
+    if args.write_baseline:
+        n = write_baseline(violations, args.write_baseline)
+        print(
+            f"replint: wrote {n} baseline entr{'y' if n == 1 else 'ies'} "
+            f"to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    n_baselined = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except OSError as exc:
+            print(f"replint: error: {exc}", file=sys.stderr)
+            return 2
+        violations, n_baselined = apply_baseline(violations, baseline)
+
     for violation in violations:
         print(violation.render())
     if not args.quiet:
-        n_files = len(_discover(args.paths))
         status = "ok" if not violations else "FAILED"
+        suffix = f", {n_baselined} baselined" if n_baselined else ""
         print(
-            f"replint: {n_files} files checked, "
-            f"{len(violations)} violation(s) -- {status}",
+            f"replint: {len(files)} files checked, "
+            f"{len(violations)} violation(s){suffix} -- {status}",
             file=sys.stderr,
         )
     return 1 if violations else 0
