@@ -64,6 +64,17 @@ import numpy as np
 from repro.core.store import MANIFEST_NAME, MemmapStore
 from repro.data.presets import get_preset
 from repro.ebsn.graphs import EntityType
+from repro.obs import (
+    FlightRecorder,
+    MetricsExporter,
+    Tracer,
+    audit_trace,
+    engine_families,
+    flight_families,
+    registry_families,
+    stamp_outcome,
+    tracer_families,
+)
 from repro.serving import (
     AdmissionController,
     RequestContext,
@@ -75,7 +86,9 @@ from repro.serving import (
 )
 
 
-def build_engine(args: argparse.Namespace) -> ServingEngine:
+def build_engine(
+    args: argparse.Namespace, *, tracer: Tracer | None = None
+) -> ServingEngine:
     """A warmed engine over a synthetic non-negative embedding model.
 
     Synthetic on purpose: the harness measures the *serving substrate*
@@ -91,6 +104,7 @@ def build_engine(args: argparse.Namespace) -> ServingEngine:
         np.arange(args.events, dtype=np.int64),
         backend=args.backend,
         cache_size=args.cache_size,
+        tracer=tracer,
     )
     engine.warm_ladder()
     return engine
@@ -138,23 +152,32 @@ def run_open_loop(
     workers: int,
     rate_hz: float,
     queue_depth: int,
+    tracer: Tracer | None = None,
 ) -> list[RequestOutcome]:
     """Fixed-rate arrivals behind a bounded admission queue.
 
     Arrival pacing is independent of completions (the open-loop
     property), so when service cannot keep up the admission controller
     saturates and sheds with an explicit ``queue_full`` reason instead
-    of letting latency grow without bound.
+    of letting latency grow without bound.  With a ``tracer``, the
+    harness-level ``queue_full`` sheds get a stamped root span too (the
+    engine only sees admitted requests), so the flight recorder's offer
+    stream covers every arrival.
     """
     controller = AdmissionController(queue_depth, metrics=engine.metrics)
     interval = 1.0 / rate_hz
     outcomes: list[RequestOutcome | None] = [None] * user_ids.size
 
     def serve(i: int, user: int, ctx: RequestContext) -> None:
+        span = ctx.span
         try:
-            ctx.mark_dequeued()
+            wait_s = ctx.mark_dequeued()
+            if span is not None:
+                span.annotate("queue.wait", wait_s)
             outcomes[i] = engine.recommend_within(user, n, ctx=ctx)
         finally:
+            if span is not None:
+                span.finish()
             controller.release()
 
     with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -165,11 +188,33 @@ def run_open_loop(
             if delay > 0:
                 time.sleep(delay)
             if not controller.try_admit():
-                outcomes[i] = RequestOutcome(
+                outcome = RequestOutcome(
                     user=user, n=n, answered=False, shed_reason="queue_full"
                 )
+                outcomes[i] = outcome
+                if tracer is not None:
+                    shed_span = tracer.request(
+                        "request",
+                        user=user,
+                        n=n,
+                        budget_s=budget_s,
+                        source="load_harness",
+                    )
+                    stamp_outcome(shed_span, outcome)
+                    shed_span.finish()
                 continue
-            pool.submit(serve, i, user, RequestContext.with_budget(budget_s))
+            ctx = RequestContext.with_budget(budget_s)
+            if tracer is not None:
+                # Root opens at submission (the explicit cross-thread
+                # spelling); the worker annotates the wait + finishes.
+                ctx.span = tracer.request(
+                    "request",
+                    user=user,
+                    n=n,
+                    budget_s=budget_s,
+                    source="load_harness",
+                )
+            pool.submit(serve, i, user, ctx)
     done = [o for o in outcomes if o is not None]
     assert len(done) == user_ids.size, "lost outcomes — silent drop bug"
     return done
@@ -414,6 +459,8 @@ def summarise(
     budget_s: float,
     args: argparse.Namespace,
     wall_s: float,
+    tracer: Tracer | None = None,
+    flight: FlightRecorder | None = None,
 ) -> dict:
     """The BENCH_serving_load.json payload."""
     answered = [o for o in outcomes if o.answered]
@@ -456,6 +503,24 @@ def summarise(
         },
         "ladder_estimates_s": engine.ladder.estimates(),
     }
+    if tracer is not None:
+        summary = tracer.span_summary()
+        report["trace"] = {
+            "span_summary": summary,
+            # The trace-derived breakdown: where request wall-clock went,
+            # split into queue wait vs per-rung attempt time.
+            "queue_wait": summary.get("queue.wait"),
+            "rung_breakdown": {
+                name: entry
+                for name, entry in summary.items()
+                if name.startswith("rung.")
+            },
+        }
+    if flight is not None:
+        report["flight"] = {
+            "counts": flight.counts(),
+            "exemplars": flight.snapshot()[-args.flight_exemplars:],
+        }
     return report
 
 
@@ -536,6 +601,44 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero unless every sampled sharded top-n is "
              "bit-identical to a single-index reference engine",
     )
+    tracing = parser.add_argument_group("tracing / observability")
+    tracing.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace every request; adds the trace-derived queue/rung "
+             "breakdown and flight-recorder exemplars to the report",
+    )
+    tracing.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=256,
+        help="flight-recorder ring capacity (interesting trees retained)",
+    )
+    tracing.add_argument(
+        "--flight-exemplars",
+        type=int,
+        default=4,
+        help="newest retained trees embedded in the report",
+    )
+    tracing.add_argument(
+        "--flight-dump",
+        type=Path,
+        default=None,
+        help="also write the full flight-recorder dump to this JSON path",
+    )
+    tracing.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write a Prometheus text-format exposition of the run's "
+             "metrics here (exporter textfile mode)",
+    )
+    tracing.add_argument(
+        "--assert-complete-traces",
+        action="store_true",
+        help="exit non-zero unless every retained span tree is closed, "
+             "parented, and names its rung or shed reason (implies --trace)",
+    )
     parser.add_argument(
         "--assert-p99-within-budget",
         action="store_true",
@@ -557,7 +660,15 @@ def main(argv: list[str] | None = None) -> int:
         return run_capacity(args)
     budget_s = args.budget_ms / 1000.0
 
-    engine = build_engine(args)
+    tracing_on = (
+        args.trace
+        or args.assert_complete_traces
+        or args.flight_dump is not None
+    )
+    flight = FlightRecorder(capacity=args.flight_capacity) if tracing_on else None
+    tracer = Tracer(recorder=flight) if tracing_on else None
+
+    engine = build_engine(args, tracer=tracer)
     if args.faults:
         install(parse_faults(args.faults))
 
@@ -570,6 +681,10 @@ def main(argv: list[str] | None = None) -> int:
     for u in warm_users.tolist():
         engine.recommend_within(int(u), args.n, budget_s=budget_s)
     engine.metrics.reset()
+    if tracer is not None:
+        tracer.reset()
+    if flight is not None:
+        flight.clear()
 
     t0 = time.perf_counter()
     if args.mode == "closed":
@@ -589,13 +704,38 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             rate_hz=args.rate,
             queue_depth=args.queue_depth,
+            tracer=tracer,
         )
     wall_s = time.perf_counter() - t0
 
     report = summarise(
-        engine, outcomes, budget_s=budget_s, args=args, wall_s=wall_s
+        engine,
+        outcomes,
+        budget_s=budget_s,
+        args=args,
+        wall_s=wall_s,
+        tracer=tracer,
+        flight=flight,
     )
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    if flight is not None and args.flight_dump is not None:
+        flight.dump_json(args.flight_dump)
+        print(f"  wrote flight dump {args.flight_dump}")
+    if args.metrics_out is not None:
+        def collect():
+            families = registry_families(engine.metrics)
+            families += engine_families(engine)
+            if tracer is not None:
+                families += tracer_families(tracer)
+            if flight is not None:
+                families += flight_families(flight)
+            return families
+
+        MetricsExporter(collect, flight=flight).write_textfile(
+            args.metrics_out
+        )
+        print(f"  wrote metrics exposition {args.metrics_out}")
 
     per_rung = ", ".join(
         f"{rung}: n={s['count']} p50={s['p50'] * 1000:.1f}ms "
@@ -622,6 +762,27 @@ def main(argv: list[str] | None = None) -> int:
     failures = []
     if args.assert_no_silent_drops and report["silent_drops"] != 0:
         failures.append(f"silent drops: {report['silent_drops']}")
+    if args.assert_complete_traces and flight is not None:
+        interesting = sum(
+            1
+            for o in outcomes
+            if not o.answered
+            or (o.stats is not None and not o.stats.deadline_met)
+        )
+        retained = flight.counts()["retained"]
+        if retained < interesting:
+            failures.append(
+                f"flight recorder retained {retained} trees for "
+                f"{interesting} shed/deadline-missed requests"
+            )
+        for tree in flight.snapshot():
+            problems = audit_trace(tree)
+            if problems:
+                failures.append(
+                    f"incomplete trace {tree.get('trace_id')}: "
+                    + "; ".join(problems)
+                )
+                break
     if (
         args.assert_p99_within_budget
         and report["answered"] > 0

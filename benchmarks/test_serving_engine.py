@@ -332,3 +332,75 @@ def test_disabled_tsan_adds_no_per_query_cost():
     # Direction-safe timing check: the default must not be measurably
     # slower than the traced mode; the margin absorbs CI noise.
     assert disabled["per_query_us"] <= enabled["per_query_us"] * 1.25
+
+
+def test_disabled_tracing_adds_no_per_request_cost():
+    """With no tracer passed, the obs layer is structurally free.
+
+    The zero-cost claim follows the same no-op-singleton design as the
+    contracts and TSAN gates, and its structural half is exact: an
+    engine constructed without a tracer holds the shared NULL_TRACER,
+    whose ``request``/``start`` return the shared NULL_SPAN, every
+    method of which returns itself without touching a clock or a lock.
+    The timing half then confirms the traced mode is the one paying for
+    span allocation — the production default must never be measurably
+    slower than a fully traced run.
+    """
+    from repro.obs import NULL_SPAN, NULL_TRACER, Tracer
+
+    rng = np.random.default_rng(0)
+    users = np.abs(rng.normal(size=(32, 8))).astype(np.float32)
+    events = np.abs(rng.normal(size=(64, 8))).astype(np.float32)
+
+    def build(tracer):
+        return ServingEngine(
+            users,
+            events,
+            np.arange(64, dtype=np.int64),
+            backend="bruteforce",
+            cache_size=0,
+            tracer=tracer,
+        ).warm()
+
+    plain = build(None)
+
+    # Structural zero-overhead proof: the default engine shares the
+    # null singletons, and every span operation is identity on them.
+    assert plain.tracer is NULL_TRACER
+    assert NULL_TRACER.request("request") is NULL_SPAN
+    assert NULL_TRACER.start("request") is NULL_SPAN
+    assert NULL_SPAN.child("rung.full") is NULL_SPAN
+    assert NULL_SPAN.tag(rung="full") is NULL_SPAN
+    assert NULL_SPAN.annotate("queue.wait", 0.0) is NULL_SPAN
+
+    traced = build(Tracer())
+    from repro.serving import RequestContext
+
+    N_QUERIES = 200
+
+    def drive(engine):
+        def run():
+            for i in range(N_QUERIES):
+                engine.recommend_within(
+                    i % 32, n=5, ctx=RequestContext(1.0)
+                )
+
+        best, _ = _best_of(run)
+        return best / N_QUERIES * 1e6
+
+    for engine in (plain, traced):  # warm both paths before timing
+        for u in range(8):
+            engine.recommend_within(u, n=5, ctx=RequestContext(1.0))
+    plain_us = drive(plain)
+    traced_us = drive(traced)
+
+    emit(
+        f"Tracing overhead (recommend_within, best of rounds): "
+        f"disabled {plain_us:.1f} us/request, "
+        f"traced {traced_us:.1f} us/request "
+        f"(x{traced_us / max(plain_us, 1e-9):.2f})"
+    )
+
+    # Direction-safe timing check: the default must not be measurably
+    # slower than the traced mode; the margin absorbs CI noise.
+    assert plain_us <= traced_us * 1.25

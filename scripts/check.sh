@@ -31,6 +31,12 @@
 #                (writes BENCH_sharded_smoke.json; the committed
 #                BENCH_sharded_load.json is the offline beijing-xl run
 #                and is never overwritten here)
+#   9. obs smoke — the observability layer end to end: a fault-injected
+#                traced recommend_many over 2 shards, every span tree
+#                audited for completeness, then the metrics exporter
+#                scraped over HTTP and validated with the strict
+#                Prometheus text-format parser (scripts/obs_smoke.py;
+#                writes BENCH_obs_smoke.json + FLIGHT_obs_smoke.json)
 #
 # ruff and mypy are skipped with a warning when not installed (minimal
 # containers); when present, any finding fails the gate.  Fails fast on
@@ -73,6 +79,7 @@ echo "== serving load smoke =="
 PYTHONPATH=src:.${PYTHONPATH:+:$PYTHONPATH} python benchmarks/load_harness.py \
     --requests 200 --warmup 40 \
     --faults "backend.query:delay=0.05" \
+    --trace --assert-complete-traces \
     --assert-p99-within-budget --assert-no-silent-drops
 
 echo "== training throughput smoke =="
@@ -86,3 +93,6 @@ PYTHONPATH=src:.${PYTHONPATH:+:$PYTHONPATH} python benchmarks/load_harness.py \
     --mode capacity --preset tiny --shards 1,2 --candidate-events 40 \
     --requests 64 --workers 2 --exact-samples 16 \
     --assert-merge-exact --out BENCH_sharded_smoke.json
+
+echo "== observability smoke =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python scripts/obs_smoke.py

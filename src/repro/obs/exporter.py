@@ -1,0 +1,557 @@
+"""Pull-based metrics export in Prometheus text exposition format.
+
+The serving stack already *measures* everything — per-query
+:class:`~repro.serving.telemetry.QueryStats` in a ``MetricsRegistry``,
+rung/shed counters, build-phase :class:`~repro.utils.profiling.Profiler`
+payloads from the trainer and the engines, store/index versions — but
+until now each consumer read a different Python object.  This module
+renders them all through one wire format (Prometheus text exposition,
+``text/plain; version=0.0.4``) via two surfaces:
+
+* :class:`MetricsExporter` — a background stdlib ``http.server`` thread
+  serving ``GET /metrics`` (the scrape endpoint) and ``GET /flight``
+  (the attached flight recorder's JSON dump, for postmortems);
+* :meth:`MetricsExporter.write_textfile` — the *textfile* mode for
+  harnesses and cron jobs (node-exporter textfile-collector style):
+  render one scrape to a ``.prom`` file and exit.
+
+:func:`parse_exposition` is a deliberately strict miniature parser for
+the same format — the CI observability smoke scrapes the live endpoint
+and re-parses it, so a rendering regression fails the gate rather than
+a dashboard.  All metric names are prefixed ``repro_`` and documented
+in docs/OPERATIONS.md §9.
+
+**Thread-safety:** collectors snapshot lock-protected sources
+(registry/tracer/recorder) and read engine fields that are immutable
+after build; the HTTP server runs scrapes on its own daemon threads.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+from repro.utils.profiling import merge_profiles
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.tracing import Tracer
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MetricFamily",
+    "MetricsExporter",
+    "Sample",
+    "ScrapeResult",
+    "engine_families",
+    "flight_families",
+    "parse_exposition",
+    "profile_families",
+    "registry_families",
+    "render_exposition",
+    "tracer_families",
+]
+
+#: The exposition-format content type Prometheus scrapers expect.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_KINDS = frozenset({"counter", "gauge", "histogram", "summary", "untyped"})
+
+
+@dataclass(slots=True)
+class Sample:
+    """One sample line: a label set and a float value."""
+
+    labels: dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+
+
+@dataclass(slots=True)
+class MetricFamily:
+    """One metric family: name, kind, help text, and its samples."""
+
+    name: str
+    kind: str
+    help: str
+    samples: list[Sample] = field(default_factory=list)
+
+    def add(self, value: float, **labels: object) -> "MetricFamily":
+        """Append a sample (labels stringified); returns ``self``."""
+        self.samples.append(
+            Sample(
+                labels={k: str(v) for k, v in labels.items()},
+                value=float(value),
+            )
+        )
+        return self
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def render_exposition(families: Iterable[MetricFamily]) -> str:
+    """Render metric families as Prometheus text exposition format.
+
+    Validates names/kinds/label names eagerly (a bad metric should fail
+    the producing test, not a scraper three systems away).
+    """
+    lines: list[str] = []
+    for fam in families:
+        if not _NAME_RE.match(fam.name):
+            raise ValueError(f"invalid metric name {fam.name!r}")
+        if fam.kind not in _KINDS:
+            raise ValueError(
+                f"invalid metric kind {fam.kind!r} for {fam.name}"
+            )
+        lines.append(f"# HELP {fam.name} {_escape_help(fam.help)}")
+        lines.append(f"# TYPE {fam.name} {fam.kind}")
+        for sample in fam.samples:
+            for label in sample.labels:
+                if not _LABEL_RE.match(label):
+                    raise ValueError(
+                        f"invalid label name {label!r} on {fam.name}"
+                    )
+            if sample.labels:
+                body = ",".join(
+                    f'{k}="{_escape_label(v)}"'
+                    for k, v in sorted(sample.labels.items())
+                )
+                lines.append(f"{fam.name}{{{body}}} {sample.value!r}")
+            else:
+                lines.append(f"{fam.name} {sample.value!r}")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(slots=True)
+class ScrapeResult:
+    """A parsed exposition page.
+
+    ``kinds`` maps metric name to its declared TYPE; ``helps`` to its
+    HELP text; ``samples`` maps ``(name, ((label, value), ...))`` —
+    labels sorted — to the sample value.
+    """
+
+    kinds: dict[str, str] = field(default_factory=dict)
+    helps: dict[str, str] = field(default_factory=dict)
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = field(
+        default_factory=dict
+    )
+
+    def value(self, name: str, **labels: object) -> float:
+        """The sample value for ``name`` with exactly these labels."""
+        key = (
+            name,
+            tuple(sorted((k, str(v)) for k, v in labels.items())),
+        )
+        return self.samples[key]
+
+    def series(self, name: str) -> int:
+        """How many samples (label combinations) ``name`` has."""
+        return sum(1 for n, _ in self.samples if n == name)
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<val>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def parse_exposition(text: str) -> ScrapeResult:
+    """Parse (and validate) a Prometheus text-format page.
+
+    Strict on purpose — the CI smoke uses it to prove the exporter's
+    output is well-formed.  Raises :class:`ValueError` with the line
+    number on: malformed HELP/TYPE/sample lines, unknown metric kinds,
+    samples for a metric with no preceding TYPE declaration, duplicate
+    sample keys, and non-float values.
+    """
+    result = ScrapeResult()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                name, kind = parts[2], parts[3] if len(parts) > 3 else ""
+                if not _NAME_RE.match(name):
+                    raise ValueError(f"line {lineno}: bad TYPE name {name!r}")
+                if kind not in _KINDS:
+                    raise ValueError(f"line {lineno}: bad kind {kind!r}")
+                result.kinds[name] = kind
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                result.helps[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        if name not in result.kinds:
+            raise ValueError(
+                f"line {lineno}: sample for {name!r} precedes its TYPE"
+            )
+        labels: dict[str, str] = {}
+        body = match.group("labels")
+        if body:
+            pos = 0
+            while pos < len(body):
+                pair = _LABEL_PAIR_RE.match(body, pos)
+                if pair is None:
+                    raise ValueError(
+                        f"line {lineno}: malformed labels {body!r}"
+                    )
+                labels[pair.group("key")] = _unescape_label(
+                    pair.group("val")
+                )
+                pos = pair.end()
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: non-float value {match.group('value')!r}"
+            ) from exc
+        key = (name, tuple(sorted(labels.items())))
+        if key in result.samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        result.samples[key] = value
+    return result
+
+
+# ----------------------------------------------------------------------
+# collectors
+# ----------------------------------------------------------------------
+def registry_families(
+    registry: object, *, prefix: str = "repro"
+) -> list[MetricFamily]:
+    """Metric families from a :class:`~repro.serving.telemetry.MetricsRegistry`.
+
+    Request counts per rung, shed counts per reason, latency quantiles
+    (overall and per rung), and the degradation/staleness counters from
+    :meth:`~repro.serving.telemetry.MetricsRegistry.summary`.
+    Duck-typed so shard-private registries export identically.
+    """
+    summary = registry.summary()  # type: ignore[attr-defined]
+    rungs = registry.rung_summary()  # type: ignore[attr-defined]
+    sheds = registry.shed_counts()  # type: ignore[attr-defined]
+    quantiles = registry.percentiles()  # type: ignore[attr-defined]
+
+    requests = MetricFamily(
+        f"{prefix}_requests_total", "counter",
+        "Answered requests by degradation rung",
+    )
+    rung_latency = MetricFamily(
+        f"{prefix}_request_rung_seconds", "gauge",
+        "Nearest-rank latency quantiles per degradation rung",
+    )
+    for rung, entry in sorted(rungs.items()):
+        requests.add(entry["count"], rung=rung)
+        for q in ("p50", "p95", "p99"):
+            rung_latency.add(entry[q], rung=rung, quantile=q)
+    shed = MetricFamily(
+        f"{prefix}_shed_total", "counter",
+        "Requests shed at admission or after rung exhaustion, by reason",
+    )
+    for reason, count in sorted(sheds.items()):
+        shed.add(count, reason=reason)
+    latency = MetricFamily(
+        f"{prefix}_request_seconds", "gauge",
+        "Nearest-rank latency quantiles over all recorded queries",
+    )
+    for q, value in quantiles.items():
+        latency.add(value, quantile=q)
+    counters = MetricFamily(
+        f"{prefix}_request_events_total", "counter",
+        "Request-level event counters (cache hits, degraded, stale, "
+        "deadline-missed, examined pairs, sorted accesses)",
+    )
+    counters.add(summary["n_queries"], kind="recorded")
+    counters.add(summary["n_cache_hits"], kind="cache_hit")
+    counters.add(summary["n_degraded"], kind="degraded")
+    counters.add(summary["n_stale"], kind="stale")
+    counters.add(summary["n_deadline_missed"], kind="deadline_missed")
+    counters.add(summary["total_n_examined"], kind="pairs_examined")
+    counters.add(summary["total_sorted_accesses"], kind="sorted_accesses")
+    return [requests, rung_latency, shed, latency, counters]
+
+
+def engine_families(
+    engine: object, *, prefix: str = "repro"
+) -> list[MetricFamily]:
+    """Version, staleness age, and index-size gauges for an engine.
+
+    Works on both :class:`~repro.serving.engine.ServingEngine` and
+    :class:`~repro.serving.sharded.ShardedServingEngine` (duck-typed;
+    sharded engines additionally export per-shard index bytes).  Never
+    triggers a build: unbuilt engines export age ``-1`` and size ``0``.
+    """
+    families = [
+        MetricFamily(
+            f"{prefix}_index_version", "gauge",
+            "Embedding version currently served",
+        ).add(int(getattr(engine, "version", 0))),
+        MetricFamily(
+            f"{prefix}_index_bytes", "gauge",
+            "Resident bytes of the built retrieval index",
+        ).add(int(engine.memory_bytes())),  # type: ignore[attr-defined]
+    ]
+    age = MetricFamily(
+        f"{prefix}_index_age_seconds", "gauge",
+        "Seconds since the served index was last built or refreshed "
+        "(-1 before the first build)",
+    )
+    shards = getattr(engine, "shards", None)
+    if shards is not None:
+        ages = [sh.index_age_s() for sh in shards]
+        age.add(max(ages) if ages else -1.0)
+        per_shard = MetricFamily(
+            f"{prefix}_shard_index_bytes", "gauge",
+            "Resident index bytes per shard",
+        )
+        for i, sh in enumerate(shards):
+            per_shard.add(sh.memory_bytes(), shard=i)
+        families.extend([age, per_shard])
+    else:
+        age.add(float(engine.index_age_s()))  # type: ignore[attr-defined]
+        families.append(age)
+    ladder = getattr(engine, "ladder", None)
+    if ladder is not None:
+        estimates = MetricFamily(
+            f"{prefix}_ladder_estimate_seconds", "gauge",
+            "EWMA latency estimate per degradation rung",
+        )
+        for rung, seconds in sorted(ladder.estimates().items()):
+            estimates.add(seconds, rung=rung)
+        families.append(estimates)
+    return families
+
+
+def profile_families(
+    payloads: Mapping[str, object] | Iterable[Mapping[str, object]],
+    *,
+    subsystem: str,
+    prefix: str = "repro",
+) -> list[MetricFamily]:
+    """Families from :meth:`Profiler.as_dict` payload(s).
+
+    Accepts one payload or an iterable of them (e.g. per-Hogwild-worker
+    profiles), merged through
+    :func:`repro.utils.profiling.merge_profiles` — the same aggregation
+    the training speedup report uses.  ``subsystem`` labels the source
+    (``"trainer"``, ``"engine_build"``, ...), so one scrape can carry
+    both sides of the stack.
+    """
+    if isinstance(payloads, Mapping):
+        merged = merge_profiles([payloads])
+    else:
+        merged = merge_profiles(payloads)
+    seconds = MetricFamily(
+        f"{prefix}_profile_seconds_total", "counter",
+        "Total seconds recorded per profiler phase",
+    )
+    calls = MetricFamily(
+        f"{prefix}_profile_calls_total", "counter",
+        "Times each profiler phase was entered",
+    )
+    phases = merged.get("phases")
+    if isinstance(phases, Mapping):
+        for name, entry in sorted(phases.items()):
+            if isinstance(entry, Mapping):
+                seconds.add(
+                    float(entry.get("seconds", 0.0)),  # type: ignore[arg-type]
+                    subsystem=subsystem, phase=name,
+                )
+                calls.add(
+                    int(entry.get("calls", 0)),  # type: ignore[arg-type]
+                    subsystem=subsystem, phase=name,
+                )
+    counters = MetricFamily(
+        f"{prefix}_profile_counter_total", "counter",
+        "Profiler integer counters",
+    )
+    raw_counters = merged.get("counters")
+    if isinstance(raw_counters, Mapping):
+        for name, value in sorted(raw_counters.items()):
+            counters.add(int(value), subsystem=subsystem, counter=name)  # type: ignore[arg-type]
+    return [seconds, calls, counters]
+
+
+def tracer_families(
+    tracer: "Tracer", *, prefix: str = "repro"
+) -> list[MetricFamily]:
+    """Per-span-name count/seconds aggregates from a tracer."""
+    count = MetricFamily(
+        f"{prefix}_span_total", "counter",
+        "Finished spans per span name",
+    )
+    seconds = MetricFamily(
+        f"{prefix}_span_seconds_total", "counter",
+        "Total seconds across finished spans per span name",
+    )
+    for name, entry in tracer.span_summary().items():
+        count.add(entry["count"], span=name)
+        seconds.add(entry["seconds_total"], span=name)
+    return [count, seconds]
+
+
+def flight_families(
+    recorder: "FlightRecorder", *, prefix: str = "repro"
+) -> list[MetricFamily]:
+    """Offer/retention counters from a flight recorder."""
+    fam = MetricFamily(
+        f"{prefix}_flight_traces_total", "counter",
+        "Span trees offered to / retained by / evicted from the flight "
+        "recorder",
+    )
+    for kind, value in recorder.counts().items():
+        if kind != "resident":
+            fam.add(value, kind=kind)
+    resident = MetricFamily(
+        f"{prefix}_flight_resident", "gauge",
+        "Span trees currently resident in the flight-recorder ring",
+    ).add(recorder.counts()["resident"])
+    return [fam, resident]
+
+
+# ----------------------------------------------------------------------
+# the exporter
+# ----------------------------------------------------------------------
+class MetricsExporter:
+    """Serve (or write) one collector's families on demand.
+
+    ``collect`` is called per scrape and returns the metric families —
+    compose it from the collector helpers above.  :meth:`start` spins a
+    daemon ``ThreadingHTTPServer`` on ``host:port`` (port 0 = ephemeral,
+    read :attr:`url` after start); :meth:`write_textfile` is the
+    serverless harness mode.  Usable as a context manager; thread-safe.
+    """
+
+    def __init__(
+        self,
+        collect: Callable[[], list[MetricFamily]],
+        *,
+        flight: "FlightRecorder | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.collect = collect
+        self.flight = flight
+        self.host = host
+        self.requested_port = int(port)
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def scrape(self) -> str:
+        """One rendered exposition page (what ``GET /metrics`` returns)."""
+        return render_exposition(self.collect())
+
+    def write_textfile(self, path: str | Path) -> Path:
+        """Textfile-collector mode: write one scrape to ``path``."""
+        out = Path(path)
+        out.write_text(self.scrape())
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (raises before :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("exporter is not started")
+        return int(self._server.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """The scrape URL, e.g. ``http://127.0.0.1:43210/metrics``."""
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsExporter":
+        """Bind and serve on a background daemon thread; returns self."""
+        if self._server is not None:
+            raise RuntimeError("exporter already started")
+        exporter = self
+
+        class Handler(BaseHTTPRequestHandler):
+            """Per-connection request handler bound to this exporter."""
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path in ("/metrics", "/"):
+                    try:
+                        body = exporter.scrape().encode("utf-8")
+                    except Exception as exc:  # pragma: no cover - defensive
+                        self.send_error(500, explain=repr(exc))
+                        return
+                    self.send_response(200)
+                    self.send_header("Content-Type", CONTENT_TYPE)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                elif self.path == "/flight" and exporter.flight is not None:
+                    body = json.dumps(
+                        exporter.flight.dump(), indent=2, sort_keys=True
+                    ).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                else:
+                    self.send_error(404)
+
+            def log_message(self, format: str, *args: object) -> None:
+                """Silence per-request logging (scrapes are periodic)."""
+
+        server = ThreadingHTTPServer((self.host, self.requested_port), Handler)
+        server.daemon_threads = True
+        thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._server = server
+        self._thread = thread
+        thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        server, thread = self._server, self._thread
+        self._server = self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsExporter":
+        """Start on entry (if not already started); returns self."""
+        if self._server is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        """Stop on exit."""
+        self.stop()

@@ -325,11 +325,15 @@ def reset() -> None:
 
 
 def _serving_files() -> Iterator[str]:
-    serving_dir = os.path.join(os.path.dirname(__file__), "serving")
-    if os.path.isdir(serving_dir):
-        for name in sorted(os.listdir(serving_dir)):
-            if name.endswith(".py"):
-                yield os.path.join(serving_dir, name)
+    # The serving stack and the observability layer share the lock
+    # annotations this sanitizer checks (tracer/flight-recorder state is
+    # mutated by the same serving workers), so both are watched.
+    for subdir in ("serving", "obs"):
+        watch_dir = os.path.join(os.path.dirname(__file__), subdir)
+        if os.path.isdir(watch_dir):
+            for name in sorted(os.listdir(watch_dir)):
+                if name.endswith(".py"):
+                    yield os.path.join(watch_dir, name)
 
 
 def _install() -> None:

@@ -53,7 +53,12 @@ from repro.serving.lifecycle import (
     RequestOutcome,
 )
 from repro.serving.sharded import ShardedServingEngine, merge_sharded_topn
-from repro.serving.telemetry import BuildStats, MetricsRegistry, QueryStats
+from repro.serving.telemetry import (
+    BuildStats,
+    MetricsRegistry,
+    QueryStats,
+    percentile,
+)
 
 __all__ = [
     "AdmissionController",
@@ -84,6 +89,7 @@ __all__ = [
     "fault_point",
     "install",
     "parse_faults",
+    "percentile",
     "register_backend",
     "uninstall",
 ]

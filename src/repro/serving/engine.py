@@ -43,12 +43,14 @@ docs/OPERATIONS.md.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, Span, Tracer, stamp_outcome
 from repro.online.pruning import build_pruned_pair_space
 from repro.sanitizer import tsan_lock
 from repro.online.ta import RetrievalResult, ThresholdAlgorithmIndex
@@ -180,6 +182,12 @@ class ServingEngine:
         :meth:`refresh`; defaults to the shared disabled instance.  Only
         touched under the build lock, matching the profiler's
         one-thread-at-a-time contract.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer` producing per-request
+        span trees (admission → queue wait → rung attempts → cache
+        write); defaults to the shared disabled
+        :data:`~repro.obs.tracing.NULL_TRACER`, which makes every span
+        operation a structural no-op.
     """
 
     def __init__(
@@ -196,6 +204,7 @@ class ServingEngine:
         stale_cache_size: int = 1024,
         ladder: LadderPolicy | None = None,
         profiler: Profiler | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.user_vectors = _as_served(user_vectors)
         self.event_vectors = _as_served(event_vectors)
@@ -224,7 +233,9 @@ class ServingEngine:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.ladder = ladder if ladder is not None else LadderPolicy()
         self.profiler = profiler if profiler is not None else NULL_PROFILER  # replint: guarded-by(_build_lock)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.build_stats = BuildStats()  # replint: guarded-by(_build_lock)
+        self._built_monotonic: float | None = None  # replint: guarded-by(_build_lock)
         self._version = 1
         self._space: PairSpace | None = None
         self._cache: OrderedDict[tuple, RetrievalResult] = OrderedDict()  # replint: guarded-by(_cache_lock)
@@ -282,6 +293,21 @@ class ServingEngine:
     def memory_bytes(self) -> int:
         """Resident bytes of the built index (0 before first build)."""
         return self._backend.memory_bytes()
+
+    def index_age_s(self) -> float:
+        """Seconds since the served index was last built or refreshed.
+
+        ``-1.0`` before the first build.  This is the *staleness age*
+        the metrics exporter publishes as ``repro_index_age_seconds``
+        (ROADMAP item 2): together with :attr:`version` it tells an
+        operator how far the served index lags the trainer.  Measured on
+        the monotonic clock; thread-safe.
+        """
+        with self._build_lock:
+            built = self._built_monotonic
+        if built is None:
+            return -1.0
+        return time.monotonic() - built
 
     def build_profile(self) -> dict:
         """Per-phase breakdown of build work (:data:`BUILD_PHASES`).
@@ -376,8 +402,10 @@ class ServingEngine:
         )
         pa = _candidate_rows(self.user_vectors, self.candidate_partners)
         k = self._effective_top_k()
-        with _Timer() as t:
-            fault_point("backend.build")
+        with self.tracer.start(
+            "engine.build", version=self._version, backend=self.backend_name
+        ) as bs, _Timer() as t:
+            fault_point("backend.build", span=bs)
             with self.profiler.phase("build.transform"):
                 if k is not None:
                     space = build_pruned_pair_space(
@@ -398,6 +426,7 @@ class ServingEngine:
             with self.profiler.phase("build.index"):
                 self._backend.build(space)
         self._space = space
+        self._built_monotonic = time.monotonic()
         self.build_stats.n_full_builds += 1
         self.build_stats.n_pairs_transformed += space.n_pairs
         self.build_stats.seconds_building += t.seconds
@@ -535,6 +564,7 @@ class ServingEngine:
                 else:
                     self._backend.build(combined)
         self._space = combined
+        self._built_monotonic = time.monotonic()
         self.candidate_events = np.concatenate(
             [self.candidate_events, fresh]
         )
@@ -611,7 +641,9 @@ class ServingEngine:
         user = self._validate_user(user)
         self.warm()
         key = (self._version, user, int(n))
-        with _Timer() as total:
+        with self.tracer.start(
+            "engine.query", user=user, n=int(n), backend=self.backend_name
+        ) as root, _Timer() as total:
             cached = self._cache_get(key)
             if cached is not None:
                 result = cached
@@ -621,13 +653,15 @@ class ServingEngine:
                     q = query_vector(
                         np.asarray(self.user_vectors[user], dtype=np.float64)
                     )
-                with _Timer() as tr:
-                    fault_point("backend.query")
+                with root.child("retrieval") as rs, _Timer() as tr:
+                    fault_point("backend.query", span=rs)
                     result = self._backend.query(q, n, exclude=user)
                 t_q, t_r = tq.seconds, tr.seconds
-                self._cache_put(key, result)
-                assert self._space is not None
-                self._stale_put(user, int(n), result, self._space)
+                with root.child("cache.write"):
+                    self._cache_put(key, result)
+                    assert self._space is not None
+                    self._stale_put(user, int(n), result, self._space)
+            root.tag(cache_hit=cached is not None, version=self._version)
         self._record(
             QueryStats(
                 user=user,
@@ -690,7 +724,10 @@ class ServingEngine:
         results: dict[int, RetrievalResult] = {}
         hit_flags: dict[int, bool] = {}
         misses: list[int] = []
-        with _Timer() as total:
+        with self.tracer.start(
+            "engine.query_batch", n_users=len(users), n=n,
+            backend=self.backend_name,
+        ) as root, _Timer() as total:
             pending: set[int] = set()
             # replint: allow-loop(per-user cache/dedup bookkeeping, O(batch))
             for u in users:
@@ -711,8 +748,10 @@ class ServingEngine:
                     queries = np.concatenate(
                         [uv, uv, np.ones((uv.shape[0], 1))], axis=1
                     )
-                with _Timer() as tr:
-                    fault_point("backend.batch")
+                with root.child(
+                    "retrieval", n_misses=len(misses)
+                ) as rs, _Timer() as tr:
+                    fault_point("backend.batch", span=rs)
                     if hasattr(self._backend, "query_batch"):
                         batch = self._backend.query_batch(
                             queries, n, excludes=miss_arr
@@ -723,13 +762,15 @@ class ServingEngine:
                             for i, u in enumerate(misses)
                         ]
                 t_q, t_r = tq.seconds, tr.seconds
-                # replint: allow-loop(cache insertion per miss, O(batch))
-                for u, result in zip(misses, batch, strict=True):
-                    results[u] = result
-                    hit_flags[u] = False
-                    self._cache_put((self._version, u, n), result)
-                    assert self._space is not None
-                    self._stale_put(u, n, result, self._space)
+                with root.child("cache.write"):
+                    # replint: allow-loop(cache insertion per miss, O(batch))
+                    for u, result in zip(misses, batch, strict=True):
+                        results[u] = result
+                        hit_flags[u] = False
+                        self._cache_put((self._version, u, n), result)
+                        assert self._space is not None
+                        self._stale_put(u, n, result, self._space)
+            root.tag(n_cache_hits=len(users) - len(misses))
         # Amortise the batch wall-clock evenly across the recorded queries.
         per_query = total.seconds / max(len(users), 1)
         per_q = t_q / max(len(misses), 1)
@@ -775,9 +816,14 @@ class ServingEngine:
         return tuple(rungs)
 
     def _run_full(
-        self, q: np.ndarray, user: int, n: int, remaining_s: float
+        self,
+        q: np.ndarray,
+        user: int,
+        n: int,
+        remaining_s: float,
+        span: Span = NULL_SPAN,
     ) -> RetrievalResult:
-        fault_point("backend.query")
+        fault_point("backend.query", span=span)
         if getattr(self._backend, "supports_budget", False):
             return self._backend.query(  # type: ignore[call-arg]
                 q, n, exclude=user, budget_s=max(remaining_s, 1e-4)
@@ -785,9 +831,14 @@ class ServingEngine:
         return self._backend.query(q, n, exclude=user)
 
     def _run_pruned(
-        self, q: np.ndarray, user: int, n: int, remaining_s: float
+        self,
+        q: np.ndarray,
+        user: int,
+        n: int,
+        remaining_s: float,
+        span: Span = NULL_SPAN,
     ) -> RetrievalResult:
-        fault_point("backend.pruned")
+        fault_point("backend.pruned", span=span)
         index = self._pruned_index
         if index is None:
             raise RuntimeError("pruned rung not warmed; call warm_ladder()")
@@ -796,7 +847,12 @@ class ServingEngine:
         )
 
     def _run_truncated(
-        self, q: np.ndarray, user: int, n: int, remaining_s: float
+        self,
+        q: np.ndarray,
+        user: int,
+        n: int,
+        remaining_s: float,
+        span: Span = NULL_SPAN,
     ) -> RetrievalResult:
         """Brute-force a budget-sized prefix of the candidate matrix.
 
@@ -805,7 +861,7 @@ class ServingEngine:
         answer is the exact top-n *of the scanned prefix* (``exact``
         only when the prefix covered everything).
         """
-        fault_point("backend.truncated")
+        fault_point("backend.truncated", span=span)
         space = self._space
         assert space is not None
         # Snapshot the throughput estimate under the cache lock: the EWMA
@@ -849,47 +905,58 @@ class ServingEngine:
         )
 
     def _serve_stale(
-        self, user: int, n: int, ctx: RequestContext
+        self,
+        user: int,
+        n: int,
+        ctx: RequestContext,
+        span: Span = NULL_SPAN,
     ) -> RequestOutcome:
         """Terminal rung: replay the last good answer, or shed."""
-        entry = self._stale_get(user, n)
-        if entry is None:
-            self.metrics.record_shed(SHED_DEADLINE_EXPIRED)
-            return RequestOutcome(
+        with span.child("rung.stale_cache", rung="stale_cache") as rs:
+            entry = self._stale_get(user, n)
+            if entry is None:
+                rs.tag(hit=False)
+                self.metrics.record_shed(SHED_DEADLINE_EXPIRED)
+                outcome = RequestOutcome(
+                    user=user,
+                    n=n,
+                    answered=False,
+                    shed_reason=SHED_DEADLINE_EXPIRED,
+                )
+                stamp_outcome(span, outcome)
+                return outcome
+            version, result, space = entry
+            rs.tag(hit=True, stale_version=version)
+            assert self._space is not None
+            stats = QueryStats(
                 user=user,
                 n=n,
-                answered=False,
-                shed_reason=SHED_DEADLINE_EXPIRED,
+                backend=self.backend_name,
+                version=version,
+                n_candidates=self._space.n_pairs,
+                n_examined=0,
+                n_sorted_accesses=0,
+                fraction_examined=0.0,
+                seconds_total=ctx.elapsed(),
+                cache_hit=True,
+                rung="stale_cache",
+                deadline_budget_s=ctx.budget_s,
+                deadline_remaining_s=ctx.remaining(),
+                deadline_met=not ctx.expired(),
+                queue_wait_s=ctx.queue_wait_s,
+                exact=False,
+                stale=True,
             )
-        version, result, space = entry
-        assert self._space is not None
-        stats = QueryStats(
-            user=user,
-            n=n,
-            backend=self.backend_name,
-            version=version,
-            n_candidates=self._space.n_pairs,
-            n_examined=0,
-            n_sorted_accesses=0,
-            fraction_examined=0.0,
-            seconds_total=ctx.elapsed(),
-            cache_hit=True,
-            rung="stale_cache",
-            deadline_budget_s=ctx.budget_s,
-            deadline_remaining_s=ctx.remaining(),
-            deadline_met=not ctx.expired(),
-            queue_wait_s=ctx.queue_wait_s,
-            exact=False,
-            stale=True,
-        )
-        self._record(stats)
-        return RequestOutcome(
-            user=user,
-            n=n,
-            answered=True,
-            recommendations=self._decode_from(result, space),
-            stats=stats,
-        )
+            self._record(stats)
+            outcome = RequestOutcome(
+                user=user,
+                n=n,
+                answered=True,
+                recommendations=self._decode_from(result, space),
+                stats=stats,
+            )
+        stamp_outcome(span, outcome)
+        return outcome
 
     def recommend_within(
         self,
@@ -909,6 +976,11 @@ class ServingEngine:
         always returns an explicit :class:`RequestOutcome` — an answer
         with the serving rung recorded in its stats, or a shed with a
         reason.  Thread-safe.
+
+        Tracing: a root span already parked on ``ctx.span`` (by
+        :meth:`recommend_many` or a sharded fan-out parent) is adopted —
+        rung attempts become its children and the submitter owns its
+        lifetime.  Otherwise a fresh root is opened and closed here.
         """
         if (budget_s is None) == (ctx is None):
             raise ValueError("pass exactly one of budget_s or ctx")
@@ -918,6 +990,30 @@ class ServingEngine:
         user = self._validate_user(user)
         n = int(n)
         self.warm()
+        parent = ctx.span
+        if parent is not None:
+            return self._serve_within(user, n, ctx, parent)
+        with self.tracer.start(
+            "request",
+            user=user,
+            n=n,
+            backend=self.backend_name,
+            budget_s=ctx.budget_s,
+        ) as root:
+            ctx.span = root
+            outcome = self._serve_within(user, n, ctx, root)
+        return outcome
+
+    def _serve_within(
+        self, user: int, n: int, ctx: RequestContext, span: Span
+    ) -> RequestOutcome:
+        """The ladder walk behind :meth:`recommend_within`.
+
+        ``span`` is the request's root span (possibly ``NULL_SPAN``);
+        every exit path stamps its outcome onto it via
+        :func:`~repro.obs.tracing.stamp_outcome` — the caller owns the
+        span's lifetime.
+        """
         assert self._space is not None
 
         # A version-current cached result is a free exact answer.
@@ -942,13 +1038,15 @@ class ServingEngine:
                 exact=True,
             )
             self._record(stats)
-            return RequestOutcome(
+            outcome = RequestOutcome(
                 user=user,
                 n=n,
                 answered=True,
                 recommendations=self._decode(cached),
                 stats=stats,
             )
+            stamp_outcome(span, outcome)
+            return outcome
 
         available = self._available_rungs()
         first = self.ladder.select(ctx.remaining(), available=available)
@@ -963,14 +1061,19 @@ class ServingEngine:
         # replint: allow-loop(<= 4 ladder rungs per request, not candidates)
         for rung in available[available.index(first):]:
             if rung == "stale_cache":
-                return self._serve_stale(user, n, ctx)
+                return self._serve_stale(user, n, ctx, span)
             try:
-                with _Timer() as t:
-                    result = runners[rung](q, user, n, ctx.remaining())
+                with span.child(
+                    "rung." + rung, rung=rung
+                ) as rung_span, _Timer() as t:
+                    result = runners[rung](
+                        q, user, n, ctx.remaining(), rung_span
+                    )
             except (InjectedFault, RuntimeError):
                 continue  # rung failed: step down
             self.ladder.observe(rung, t.seconds)
             if result.pair_indices.size == 0 and not result.exact:
+                rung_span.tag(discarded=True)
                 continue  # budget ran out before anything was scored
             serving_space = (
                 self._pruned_index.space
@@ -978,9 +1081,10 @@ class ServingEngine:
                 else self._space
             )
             exact = result.exact and rung == "full"
-            if exact:
-                self._cache_put((self._version, user, n), result)
-            self._stale_put(user, n, result, serving_space)
+            with span.child("cache.write"):
+                if exact:
+                    self._cache_put((self._version, user, n), result)
+                self._stale_put(user, n, result, serving_space)
             stats = QueryStats(
                 user=user,
                 n=n,
@@ -1001,14 +1105,16 @@ class ServingEngine:
                 stale=False,
             )
             self._record(stats)
-            return RequestOutcome(
+            outcome = RequestOutcome(
                 user=user,
                 n=n,
                 answered=True,
                 recommendations=self._decode_from(result, serving_space),
                 stats=stats,
             )
-        return self._serve_stale(user, n, ctx)
+            stamp_outcome(span, outcome)
+            return outcome
+        return self._serve_stale(user, n, ctx, span)
 
     def recommend_many(
         self,
@@ -1030,6 +1136,13 @@ class ServingEngine:
         admission shedding).  Returns one :class:`RequestOutcome` per
         input user, in input order — zero silent drops, by construction.
         Thread-safe; the pool is private to this call.
+
+        Tracing: each request's root span is opened at *submission*
+        (via :meth:`Tracer.request`, the explicit cross-thread spelling)
+        and parked on its context; the worker that dequeues it annotates
+        the queue wait and finishes the root — explicit propagation, no
+        thread-local state.  Admission sheds get a root too, so every
+        submitted request appears in the flight recorder's offer stream.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -1048,10 +1161,15 @@ class ServingEngine:
         def serve(
             u: int, ctx: RequestContext, admitted: AdmissionController | None
         ) -> RequestOutcome:
+            span = ctx.span
             try:
-                ctx.mark_dequeued()
+                wait_s = ctx.mark_dequeued()
+                if span is not None:
+                    span.annotate("queue.wait", wait_s)
                 return self.recommend_within(u, n, ctx=ctx)
             finally:
+                if span is not None:
+                    span.finish()
                 if admitted is not None:
                     admitted.release()
 
@@ -1060,14 +1178,33 @@ class ServingEngine:
             # replint: allow-loop(admission/submission per request, O(batch))
             for i, u in enumerate(user_list):
                 if controller is not None and not controller.try_admit():
-                    outcomes[i] = RequestOutcome(
+                    outcome = RequestOutcome(
                         user=u,
                         n=int(n),
                         answered=False,
                         shed_reason="queue_full",
                     )
+                    shed_span = self.tracer.request(
+                        "request",
+                        user=u,
+                        n=int(n),
+                        backend=self.backend_name,
+                        budget_s=float(budget_s),
+                        source="recommend_many",
+                    )
+                    stamp_outcome(shed_span, outcome)
+                    shed_span.finish()
+                    outcomes[i] = outcome
                     continue
                 ctx = RequestContext.with_budget(budget_s)
+                ctx.span = self.tracer.request(
+                    "request",
+                    user=u,
+                    n=int(n),
+                    backend=self.backend_name,
+                    budget_s=float(budget_s),
+                    source="recommend_many",
+                )
                 futures[pool.submit(serve, u, ctx, controller)] = i
             # replint: allow-loop(future collection per request, O(batch))
             for future, i in futures.items():

@@ -44,11 +44,14 @@ import os
 import threading
 import time
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from repro.sanitizer import tsan_lock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.tracing import Span
 
 __all__ = [
     "FaultPlan",
@@ -152,13 +155,18 @@ def active_plan() -> FaultPlan | None:
     return _PLAN
 
 
-def fault_point(site: str) -> None:
+def fault_point(site: str, *, span: "Span | None" = None) -> None:
     """Apply the installed plan's behaviour for ``site``, if any.
 
     The serving engine calls this at each backend boundary.  With no
     plan installed this is one module-attribute load and a ``return`` —
     safe to keep on the hot path.  With a plan: sleeps ``delay_s``, then
     raises :class:`InjectedFault` with probability ``error_rate``.
+
+    When the caller passes the enclosing trace ``span``, any injection
+    stamps it — ``fault.site`` plus ``fault.delay_s``/``fault.error`` —
+    so a flight-recorder dump names the exact boundary that consumed the
+    budget (the default-interest predicate retains fault-stamped trees).
     """
     plan = _PLAN
     if plan is None:
@@ -168,7 +176,11 @@ def fault_point(site: str) -> None:
         return
     if spec.delay_s > 0.0:
         time.sleep(spec.delay_s)
+        if span is not None:
+            span.tag(**{"fault.site": site, "fault.delay_s": spec.delay_s})
     if plan.should_error(spec):
+        if span is not None:
+            span.tag(**{"fault.site": site, "fault.error": True})
         raise InjectedFault(f"injected fault at {site!r}")
 
 

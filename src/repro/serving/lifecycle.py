@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.tracing import Span
     from repro.serving.engine import Recommendation
     from repro.serving.telemetry import MetricsRegistry, QueryStats
 
@@ -83,15 +84,22 @@ class RequestContext:
     retrieval, which is exactly the situation the degradation ladder is
     for.  Not thread-safe and never shared: each request owns one
     context, handed from the admission queue to the worker serving it.
+
+    ``span`` is the explicit trace-propagation slot: the submitter parks
+    the request's root :class:`~repro.obs.tracing.Span` here and the
+    worker that serves the context picks it up — this is how a span tree
+    crosses the ``recommend_many`` / shard-fan-out thread pools without
+    thread-local state.  ``None`` (the default) means untraced.
     """
 
-    __slots__ = ("budget_s", "start", "_queue_wait_s")
+    __slots__ = ("budget_s", "start", "span", "_queue_wait_s")
 
     def __init__(self, budget_s: float, *, start: float | None = None) -> None:
         if budget_s <= 0.0:
             raise ValueError(f"budget_s must be > 0, got {budget_s}")
         self.budget_s = float(budget_s)
         self.start = time.perf_counter() if start is None else float(start)
+        self.span: "Span | None" = None
         self._queue_wait_s = 0.0
 
     @classmethod

@@ -72,6 +72,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.tracing import NULL_TRACER, Tracer, stamp_outcome
 from repro.online.ta import RetrievalResult
 from repro.sanitizer import tsan_lock
 from repro.serving.backends import create_backend
@@ -165,7 +166,11 @@ class ShardedServingEngine:
 
     Parameters mirror :class:`ServingEngine`; ``metrics`` is the
     *aggregate* registry (each shard additionally keeps a private one,
-    see :meth:`shard_metrics`).
+    see :meth:`shard_metrics`).  ``tracer`` traces at the fan-out layer:
+    one root per request with a ``shard`` child per fan-out leg — shard
+    engines keep the disabled default, and their rung attempts still
+    appear because the fan-out parks each shard child span on the child
+    :class:`~repro.serving.lifecycle.RequestContext` it hands down.
 
     **Thread-safety:** same contract as :class:`ServingEngine` (see the
     module docstring); :meth:`close` the engine when done to release the
@@ -185,6 +190,7 @@ class ShardedServingEngine:
         cache_size: int = 256,
         metrics: MetricsRegistry | None = None,
         stale_cache_size: int = 1024,
+        tracer: Tracer | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -204,6 +210,7 @@ class ShardedServingEngine:
         self.candidate_partners = candidate_partners
         self.candidate_events = np.asarray(candidate_events, dtype=np.int64)  # replint: guarded-by(_build_lock)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._prunes_by_default = bool(
             getattr(create_backend(backend), "prunes_by_default", False)
         )
@@ -437,11 +444,24 @@ class ShardedServingEngine:
         """
         self.warm()
         n = int(n)
-        with _Timer() as total:
-            results = self._fan_out(lambda sh: sh.query(user, n))
-            merged = merge_sharded_topn(
-                [self._shard_list(s, r) for s, r in enumerate(results)], n
-            )
+        with self.tracer.start(
+            "engine.query",
+            user=int(user),
+            n=n,
+            backend=f"sharded[{self.n_shards}]:{self.backend_name}",
+        ) as root, _Timer() as total:
+
+            def q_shard(item: tuple[int, ServingEngine]) -> RetrievalResult:
+                idx, sh = item
+                with root.child("shard", shard=idx):
+                    return sh.query(user, n)
+
+            results = self._fan_out_indexed(q_shard)
+            with root.child("merge"):
+                merged = merge_sharded_topn(
+                    [self._shard_list(s, r) for s, r in enumerate(results)],
+                    n,
+                )
         scores, keys, events, partners = merged
         n_cand = sum(sh.n_candidate_pairs for sh in self._shards)
         n_exam = sum(r.n_examined for r in results)
@@ -523,6 +543,12 @@ class ShardedServingEngine:
         answers orders by ``(-score, event, partner)`` — deterministic,
         and identical to the exact merge whenever every shard served its
         ``full`` rung with sorted candidate ids.  Thread-safe.
+
+        Tracing: a root parked on ``ctx.span`` (by
+        :meth:`recommend_many`) is adopted, otherwise one is opened
+        here; each fan-out leg runs under a ``shard`` child span that is
+        handed down on the child context, so a flight-recorder dump
+        shows which shard's rung walk consumed the budget.
         """
         if (budget_s is None) == (ctx is None):
             raise ValueError("pass exactly one of budget_s or ctx")
@@ -533,50 +559,77 @@ class ShardedServingEngine:
         n = int(n)
         user = int(user)
         parent = ctx
+        root = ctx.span
+        owns_root = root is None
+        if root is None:
+            root = self.tracer.request(
+                "request",
+                user=user,
+                n=n,
+                backend=f"sharded[{self.n_shards}]:{self.backend_name}",
+                budget_s=ctx.budget_s,
+            )
+            ctx.span = root
 
-        def serve_shard(sh: ServingEngine) -> RequestOutcome:
+        def serve_shard(item: tuple[int, ServingEngine]) -> RequestOutcome:
+            idx, sh = item
             child = RequestContext(parent.budget_s, start=parent.start)
-            return sh.recommend_within(user, n, ctx=child)
+            with root.child("shard", shard=idx) as shard_span:
+                child.span = shard_span
+                return sh.recommend_within(user, n, ctx=child)
 
-        outcomes = self._fan_out(serve_shard)
-        shed = [o for o in outcomes if not o.answered]
-        if shed:
-            reason = shed[0].shed_reason
-            self.metrics.record_shed(
-                reason if reason is not None else "rungs_exhausted"
+        try:
+            outcomes = self._fan_out_indexed(serve_shard)
+            shed = [o for o in outcomes if not o.answered]
+            if shed:
+                reason = shed[0].shed_reason
+                self.metrics.record_shed(
+                    reason if reason is not None else "rungs_exhausted"
+                )
+                outcome = RequestOutcome(
+                    user=user, n=n, answered=False, shed_reason=reason
+                )
+                stamp_outcome(root, outcome)
+                return outcome
+            with root.child("merge"):
+                merged = self._merge_outcomes(outcomes, n)
+            assert all(o.stats is not None for o in outcomes)
+            stats_list = [o.stats for o in outcomes if o.stats is not None]
+            worst = max(RUNGS.index(s.rung) for s in stats_list)
+            n_cand = sum(s.n_candidates for s in stats_list)
+            n_exam = sum(s.n_examined for s in stats_list)
+            stats = QueryStats(
+                user=user,
+                n=n,
+                backend=f"sharded[{self.n_shards}]:{self.backend_name}",
+                version=self.version,
+                n_candidates=n_cand,
+                n_examined=n_exam,
+                n_sorted_accesses=sum(s.n_sorted_accesses for s in stats_list),
+                fraction_examined=n_exam / max(n_cand, 1),
+                seconds_total=parent.elapsed(),
+                cache_hit=all(s.cache_hit for s in stats_list),
+                rung=RUNGS[worst],
+                deadline_budget_s=parent.budget_s,
+                deadline_remaining_s=parent.remaining(),
+                deadline_met=not parent.expired(),
+                queue_wait_s=parent.queue_wait_s,
+                exact=all(s.exact for s in stats_list),
+                stale=any(s.stale for s in stats_list),
             )
-            return RequestOutcome(
-                user=user, n=n, answered=False, shed_reason=reason
+            self.metrics.record(stats)
+            outcome = RequestOutcome(
+                user=user,
+                n=n,
+                answered=True,
+                recommendations=merged,
+                stats=stats,
             )
-        merged = self._merge_outcomes(outcomes, n)
-        assert all(o.stats is not None for o in outcomes)
-        stats_list = [o.stats for o in outcomes if o.stats is not None]
-        worst = max(RUNGS.index(s.rung) for s in stats_list)
-        n_cand = sum(s.n_candidates for s in stats_list)
-        n_exam = sum(s.n_examined for s in stats_list)
-        stats = QueryStats(
-            user=user,
-            n=n,
-            backend=f"sharded[{self.n_shards}]:{self.backend_name}",
-            version=self.version,
-            n_candidates=n_cand,
-            n_examined=n_exam,
-            n_sorted_accesses=sum(s.n_sorted_accesses for s in stats_list),
-            fraction_examined=n_exam / max(n_cand, 1),
-            seconds_total=parent.elapsed(),
-            cache_hit=all(s.cache_hit for s in stats_list),
-            rung=RUNGS[worst],
-            deadline_budget_s=parent.budget_s,
-            deadline_remaining_s=parent.remaining(),
-            deadline_met=not parent.expired(),
-            queue_wait_s=parent.queue_wait_s,
-            exact=all(s.exact for s in stats_list),
-            stale=any(s.stale for s in stats_list),
-        )
-        self.metrics.record(stats)
-        return RequestOutcome(
-            user=user, n=n, answered=True, recommendations=merged, stats=stats
-        )
+            stamp_outcome(root, outcome)
+            return outcome
+        finally:
+            if owns_root:
+                root.finish()
 
     def recommend_many(
         self,
@@ -613,10 +666,15 @@ class ShardedServingEngine:
         def serve(
             u: int, ctx: RequestContext, admitted: AdmissionController | None
         ) -> RequestOutcome:
+            span = ctx.span
             try:
-                ctx.mark_dequeued()
+                wait_s = ctx.mark_dequeued()
+                if span is not None:
+                    span.annotate("queue.wait", wait_s)
                 return self.recommend_within(u, n, ctx=ctx)
             finally:
+                if span is not None:
+                    span.finish()
                 if admitted is not None:
                     admitted.release()
 
@@ -625,14 +683,35 @@ class ShardedServingEngine:
             # replint: allow-loop(admission/submission per request, O(batch))
             for i, u in enumerate(user_list):
                 if controller is not None and not controller.try_admit():
-                    outcomes[i] = RequestOutcome(
+                    outcome = RequestOutcome(
                         user=u,
                         n=int(n),
                         answered=False,
                         shed_reason="queue_full",
                     )
+                    shed_span = self.tracer.request(
+                        "request",
+                        user=u,
+                        n=int(n),
+                        backend=(
+                            f"sharded[{self.n_shards}]:{self.backend_name}"
+                        ),
+                        budget_s=float(budget_s),
+                        source="recommend_many",
+                    )
+                    stamp_outcome(shed_span, outcome)
+                    shed_span.finish()
+                    outcomes[i] = outcome
                     continue
                 ctx = RequestContext.with_budget(budget_s)
+                ctx.span = self.tracer.request(
+                    "request",
+                    user=u,
+                    n=int(n),
+                    backend=f"sharded[{self.n_shards}]:{self.backend_name}",
+                    budget_s=float(budget_s),
+                    source="recommend_many",
+                )
                 futures[pool.submit(serve, u, ctx, controller)] = i
             # replint: allow-loop(future collection per request, O(batch))
             for future, i in futures.items():
@@ -652,6 +731,21 @@ class ShardedServingEngine:
         if self.n_shards == 1:
             return [fn(self._shards[0])]  # type: ignore[operator]
         return list(self._pool.map(fn, self._shards))  # type: ignore[arg-type]
+
+    def _fan_out_indexed(self, fn: "object") -> list:
+        """Like :meth:`_fan_out`, but ``fn`` receives ``(index, engine)``.
+
+        The traced fan-out paths use the shard index to label each leg's
+        ``shard`` child span; same pool, ordering, and inline-for-one
+        behaviour as :meth:`_fan_out`.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if self.n_shards == 1:
+            return [fn((0, self._shards[0]))]  # type: ignore[operator]
+        return list(  # type: ignore[arg-type]
+            self._pool.map(fn, list(enumerate(self._shards)))
+        )
 
     @staticmethod
     def _merge_outcomes(

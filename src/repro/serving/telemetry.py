@@ -22,6 +22,7 @@ loops.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 
@@ -114,13 +115,35 @@ class _Timer:
         self.seconds = time.perf_counter() - self._start
 
 
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (need not be sorted).
+
+    The nearest-rank (inverted-CDF) definition: the smallest value with
+    at least ``q`` percent of the sample at or below it — rank
+    ``ceil(q/100 * n)``, clamped to ``[1, n]`` so ``q=0`` returns the
+    minimum and ``q=100`` the maximum.  Matches
+    ``numpy.percentile(values, q, method="inverted_cdf")`` exactly
+    (property-tested in ``tests/test_telemetry.py``); an empty sample
+    returns the ``0.0`` sentinel the registry aggregates use.  Raises
+    :class:`ValueError` for ``q`` outside ``[0, 100]``.
+
+    This replaces an earlier formula that truncated ``q * n`` to an int
+    *before* the ceiling division, which rounded fractional ``q`` the
+    wrong way (e.g. ``q=33.4, n=3``: true rank ``ceil(1.002) = 2``, the
+    truncated form gave 1).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(max(math.ceil((q / 100.0) * len(ordered)), 1), len(ordered))
+    return ordered[rank - 1]
+
+
 def _nearest_rank(sorted_values: list[float], q: float) -> float:
     """Nearest-rank percentile over an ascending list (q in [0, 100])."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, -(-int(q * len(sorted_values)) // 100))  # ceil
-    rank = min(rank, len(sorted_values))
-    return sorted_values[rank - 1]
+    return percentile(sorted_values, q)
 
 
 class MetricsRegistry:

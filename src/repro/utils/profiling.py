@@ -52,12 +52,21 @@ class PhaseStat:
     seconds: float = 0.0
 
 
-class _NullPhase:
-    """Shared no-op context manager returned by disabled profilers."""
+class NullContext:
+    """Shared no-op context manager for disabled instrumentation.
+
+    Returned by disabled profilers, and reusable by any component that
+    wants the same "structurally free when off" shape (the tracer in
+    :mod:`repro.obs.tracing` uses its own typed null objects but follows
+    this exact pattern).  Even a no-op scope is still entered via
+    ``with`` — replint REP011 enforces that spelling for span/phase
+    factories, so disabled and enabled code paths stay structurally
+    identical.
+    """
 
     __slots__ = ()
 
-    def __enter__(self) -> "_NullPhase":
+    def __enter__(self) -> "NullContext":
         return self
 
     def __exit__(
@@ -69,7 +78,12 @@ class _NullPhase:
         return False
 
 
-_NULL_PHASE = _NullPhase()
+#: The shared :class:`NullContext` instance (stateless, so one suffices).
+NULL_CONTEXT = NullContext()
+
+# Backwards-compatible private aliases (pre-obs-layer names).
+_NullPhase = NullContext
+_NULL_PHASE = NULL_CONTEXT
 
 
 class _Phase:
@@ -113,10 +127,10 @@ class Profiler:
         self.counters: dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    def phase(self, name: str) -> "_Phase | _NullPhase":
+    def phase(self, name: str) -> "_Phase | NullContext":
         """Context manager timing one occurrence of phase ``name``."""
         if not self.enabled:
-            return _NULL_PHASE
+            return NULL_CONTEXT
         stat = self.phases.get(name)
         if stat is None:
             stat = self.phases[name] = PhaseStat()

@@ -799,6 +799,76 @@ class TestRep010:
 
 
 # ----------------------------------------------------------------------
+# REP011 — span/phase context-manager discipline
+# ----------------------------------------------------------------------
+class TestRep011:
+    OBS_PATH = "src/repro/obs/fake.py"
+
+    def test_flags_bare_tracer_start(self):
+        src = "def f(tracer):\n    s = tracer.start('request')\n"
+        assert codes(src, self.OBS_PATH, ["REP011"]) == ["REP011"]
+
+    def test_flags_bare_child_and_phase(self):
+        src = (
+            "def f(root, prof):\n"
+            "    root.child('merge')\n"
+            "    prof.phase('fold_in')\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP011"]) == ["REP011", "REP011"]
+
+    def test_with_item_spellings_are_clean(self):
+        src = (
+            "def f(tracer, prof):\n"
+            "    with tracer.start('request') as root:\n"
+            "        with root.child('retrieval'):\n"
+            "            pass\n"
+            "    with prof.phase('report'):\n"
+            "        pass\n"
+        )
+        assert codes(src, self.OBS_PATH, ["REP011"]) == []
+
+    def test_request_plus_finish_is_clean(self):
+        src = (
+            "def f(tracer):\n"
+            "    root = tracer.request('request')\n"
+            "    root.finish()\n"
+        )
+        assert codes(src, self.OBS_PATH, ["REP011"]) == []
+
+    def test_non_tracer_start_is_clean(self):
+        src = (
+            "def f(thread, exporter, pool):\n"
+            "    thread.start()\n"
+            "    exporter.start()\n"
+            "    pool.start()\n"
+        )
+        assert codes(src, self.OBS_PATH, ["REP011"]) == []
+
+    def test_tracer_attribute_receiver_start_is_flagged(self):
+        src = "def f(engine):\n    engine.tracer.start('request')\n"
+        assert codes(src, self.OBS_PATH, ["REP011"]) == ["REP011"]
+
+    def test_exempt_in_test_files(self):
+        src = "def f(tracer):\n    tracer.start('request')\n"
+        assert codes(src, TEST_PATH, ["REP011"]) == []
+        assert codes(src, "benchmarks/bench_fake.py", ["REP011"]) == []
+
+    def test_allow_pragma_suppresses(self):
+        src = (
+            "def f(root):\n"
+            "    root.child('merge')  # replint: allow(REP011)\n"
+        )
+        assert codes(src, SERVING_PATH, ["REP011"]) == []
+
+    def test_fixture_seeds_exactly_three(self):
+        fixture = (
+            REPO_ROOT / "tools/replint/fixtures/repro/obs/bad_span_discipline.py"
+        )
+        found = [v for v in lint_paths([str(fixture)]) if v.code == "REP011"]
+        assert [v.line for v in found] == [23, 25, 26]
+
+
+# ----------------------------------------------------------------------
 # Runner / CLI
 # ----------------------------------------------------------------------
 class TestRunner:
@@ -810,7 +880,9 @@ class TestRunner:
         with pytest.raises(ValueError, match="unknown rule"):
             lint_source("x = 1\n", OTHER_PATH, select=["REP999"])
 
-    def test_rule_codes_are_the_documented_ten(self):
+    def test_rule_codes_are_the_documented_eleven(self):
+        # File rules first (REP011 is a per-file pass), then the
+        # project-aware passes.
         assert RULE_CODES == (
             "REP001",
             "REP002",
@@ -818,6 +890,7 @@ class TestRunner:
             "REP004",
             "REP005",
             "REP006",
+            "REP011",
             "REP007",
             "REP008",
             "REP009",

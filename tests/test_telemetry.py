@@ -1,0 +1,106 @@
+"""Serving telemetry: the nearest-rank percentile estimator.
+
+The estimator must agree exactly with numpy's ``inverted_cdf`` method —
+the property test drives arbitrary samples and quantiles through both.
+The edge cases (q=0, q=100, single sample, empty input) each regressed
+at least once under the old ``int(q * n)`` rank formula, which
+truncated *before* the ceiling division (q=33.4 over 3 samples picked
+rank 1 where the nearest-rank definition requires rank 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.serving import MetricsRegistry, percentile
+from repro.serving.telemetry import QueryStats
+
+
+class TestPercentileEdgeCases:
+    def test_empty_input_returns_zero(self):
+        assert percentile([], 50.0) == 0.0
+        assert percentile([], 0.0) == 0.0
+        assert percentile([], 100.0) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        for q in (0.0, 0.1, 50.0, 99.9, 100.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_q0_is_the_minimum(self):
+        assert percentile([3.0, 1.0, 2.0], 0.0) == 1.0
+
+    def test_q100_is_the_maximum(self):
+        assert percentile([3.0, 1.0, 2.0], 100.0) == 3.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError, match="q"):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError, match="q"):
+            percentile([1.0], 100.1)
+
+    def test_old_truncation_bug_counterexample(self):
+        # ceil(33.4 / 100 * 3) = ceil(1.002) = 2 -> second order statistic;
+        # the old int(0.334 * 3) = 1 picked the minimum instead.
+        assert percentile([1.0, 2.0, 3.0], 33.4) == 2.0
+
+    def test_unsorted_input_is_handled(self):
+        assert percentile([9.0, 1.0, 5.0, 3.0], 50.0) == 3.0
+
+
+class TestPercentileProperty:
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e9,
+                max_value=1e9,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=200,
+        ),
+        q=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_matches_numpy_inverted_cdf(self, values, q):
+        ours = percentile(values, q)
+        theirs = float(
+            np.percentile(np.asarray(values), q, method="inverted_cdf")
+        )
+        assert ours == theirs
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        q=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_result_is_an_order_statistic(self, values, q):
+        result = percentile(values, q)
+        assert result in values
+
+
+class TestRegistryPercentiles:
+    def test_registry_quantiles_use_the_fixed_estimator(self):
+        registry = MetricsRegistry()
+        latencies = [0.001 * (i + 1) for i in range(10)]
+        for seconds in latencies:
+            registry.record(
+                QueryStats(
+                    user=0,
+                    n=5,
+                    backend="ta",
+                    version=1,
+                    n_candidates=10,
+                    n_examined=10,
+                    n_sorted_accesses=10,
+                    fraction_examined=1.0,
+                    seconds_total=seconds,
+                )
+            )
+        quantiles = registry.percentiles()
+        assert quantiles["p50"] == percentile(latencies, 50.0)
+        assert quantiles["p99"] == percentile(latencies, 99.0)

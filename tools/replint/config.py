@@ -36,6 +36,7 @@ class LintConfig:
     typed_api_prefixes: tuple[str, ...] = (
         "repro/core/",
         "repro/online/",
+        "repro/obs/",
         "repro/serving/",
         "repro/contracts.py",
     )
@@ -54,7 +55,7 @@ class LintConfig:
     #: surface: REP006 requires docstrings (module, classes, functions)
     #: so every serving symbol states its thread-safety and deadline
     #: behaviour.
-    docstring_prefixes: tuple[str, ...] = ("repro/serving/",)
+    docstring_prefixes: tuple[str, ...] = ("repro/obs/", "repro/serving/")
 
     #: Files allowed to mutate embedding matrices in place (REP005):
     #: the trainer (SGD + ReLU projection), the fold-in optimiser, and
@@ -76,7 +77,14 @@ class LintConfig:
 
     #: Serving modules proper (REP010 scans these for outcome/rung/shed
     #: discipline; the guarded-by annotation language is expected here).
-    serving_prefixes: tuple[str, ...] = ("repro/serving/",)
+    serving_prefixes: tuple[str, ...] = ("repro/obs/", "repro/serving/")
+
+    #: Packages where span/timer scopes must be closed by the ``with``
+    #: statement that opened them: REP011 flags bare ``tracer.start()`` /
+    #: ``.child()`` / ``.span()`` / ``.phase()`` calls whose result is
+    #: not a ``with``-item context expression.  Scoped to all first-party
+    #: ``repro/`` code (tests are exempt — they probe span internals).
+    span_scoped_prefixes: tuple[str, ...] = ("repro/",)
 
     #: Fallback degradation-ladder rungs and shed reasons for REP010.
     #: When ``repro/serving/lifecycle.py`` is part of the lint run, the
@@ -162,6 +170,12 @@ class LintConfig:
         """REP010 scope: the serving modules (and serving fixtures)."""
         return not self.is_test_file(path) and self._suffix_match(
             path, self.serving_prefixes
+        )
+
+    def is_span_scoped(self, path: str) -> bool:
+        """REP011 scope: span/timer context-manager discipline."""
+        return not self.is_test_file(path) and self._suffix_match(
+            path, self.span_scoped_prefixes
         )
 
     def may_mutate_embeddings(self, path: str) -> bool:

@@ -1,0 +1,45 @@
+"""Seeded REP011 violations: span/phase scopes opened outside ``with``.
+
+This module is meant to be *wrong* — it seeds exactly three
+span-discipline violations (plus several deliberately clean uses: the
+``with``-item spellings, ``Tracer.request()`` + explicit ``finish()``
+for a cross-thread root, and a non-tracer ``.start()``) so the
+self-test in ``tests/test_replint.py`` can assert the pass fires, and
+only where it should.  It is REP003/REP006/REP007-clean on purpose so
+the fixture exercises a single rule.
+"""
+
+import threading
+
+from repro.obs.tracing import Tracer
+from repro.utils.profiling import Profiler
+
+
+def traced_serve(tracer: Tracer, prof: Profiler, user: int) -> int:
+    """Mixes sanctioned and leaky span/phase openings."""
+    with tracer.start("request", user=user) as root:  # clean: with-item
+        with root.child("retrieval"):  # clean: with-item
+            pass
+        leaked = tracer.start("orphan", user=user)  # REP011: bare start
+        leaked.finish()
+        root.child("merge", n=1)  # REP011: bare child, never closed
+    prof.phase("fold_in")  # REP011: bare phase, never closed
+    with prof.phase("report"):  # clean: with-item
+        pass
+    return user
+
+
+def cross_thread_root(tracer: Tracer) -> None:
+    """The sanctioned explicit-finish escape hatch stays clean."""
+    root = tracer.request("request", user=0)  # clean: request + finish
+    try:
+        pass
+    finally:
+        root.finish()
+
+
+def non_tracer_start() -> threading.Thread:
+    """``.start()`` on a non-tracer receiver is not a span opening."""
+    worker = threading.Thread(target=lambda: None, daemon=True)
+    worker.start()  # clean: receiver chain has no tracer
+    return worker

@@ -477,6 +477,85 @@ class MissingDocstring:
                     )
 
 
+# ----------------------------------------------------------------------
+# REP011 — span/phase scopes close via the `with` that opened them
+# ----------------------------------------------------------------------
+
+
+class SpanContextDiscipline:
+    """Span/timer factories must be used as ``with``-item expressions.
+
+    A bare ``tracer.start(...)`` / ``span.child(...)`` / ``.span(...)``
+    / ``profiler.phase(...)`` call whose result is not immediately the
+    context expression of a ``with`` statement produces a scope nobody
+    is guaranteed to close — an unclosed span corrupts every flight-
+    recorder dump its tree lands in, and an unclosed phase corrupts the
+    profiler's totals.  The sanctioned cross-thread escape hatch is
+    :meth:`Tracer.request` + :meth:`Span.finish` (request roots open at
+    submission, close on the serving worker), which this rule leaves
+    alone so every explicit-finish site stays greppable.
+
+    ``child``/``span``/``phase`` are flagged on any receiver;
+    ``start`` only when the receiver chain mentions a tracer (so
+    ``thread.start()`` / ``exporter.start()`` stay clean).
+    """
+
+    code = "REP011"
+    summary = (
+        "span/phase scopes must be closed by the with statement that "
+        "opened them (no bare tracer.start()/.child()/.span()/.phase() "
+        "calls; cross-thread roots use Tracer.request() + Span.finish())"
+    )
+
+    _SCOPE_METHODS = frozenset({"span", "child", "phase"})
+
+    def applies(self, path: str, config: LintConfig) -> bool:
+        return config.is_span_scoped(path)
+
+    @staticmethod
+    def _is_tracerish(chain: list[str]) -> bool:
+        # The receiver chain, excluding the method name itself.
+        return any("tracer" in part.lower() for part in chain[:-1])
+
+    def check(
+        self, tree: ast.Module, path: str, config: LintConfig
+    ) -> Iterator[Violation]:
+        with_items: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_items.add(id(item.context_expr))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or id(node) in with_items:
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            name = func.attr
+            if name in self._SCOPE_METHODS:
+                yield _violation(
+                    path,
+                    node,
+                    self.code,
+                    f"'.{name}(...)' opens a scope: use it as a 'with' "
+                    "context expression so the scope is closed on every "
+                    "path",
+                )
+                continue
+            if name == "start":
+                chain = _attr_chain(func)
+                if chain is not None and self._is_tracerish(chain):
+                    yield _violation(
+                        path,
+                        node,
+                        self.code,
+                        "bare 'tracer.start(...)' leaks an open span: "
+                        "use 'with tracer.start(...) as s:' (or "
+                        "Tracer.request() + finish() for cross-thread "
+                        "roots)",
+                    )
+
+
 ALL_RULES = (
     GlobalRandomState(),
     HotPathLoop(),
@@ -484,6 +563,7 @@ ALL_RULES = (
     UnpinnedDtype(),
     EmbeddingMutation(),
     MissingDocstring(),
+    SpanContextDiscipline(),
 )
 
 FILE_RULE_CODES = tuple(rule.code for rule in ALL_RULES)
