@@ -28,6 +28,16 @@ Three generator modes:
   ``--assert-merge-exact`` additionally compares every sampled sharded
   top-n bit-for-bit against a single-index reference engine (the CI
   smoke runs this on the ``tiny`` preset with 2 shards).
+* **streaming** (``--mode streaming``): open-loop queries against a
+  :class:`~repro.serving.DoubleBufferedEngine` *while* a
+  :class:`~repro.serving.FoldInPump` replays a timestamped synthetic
+  arrival trace (flash crowds included) and folds the new events into
+  the shadow replica, publishing each batch with an atomic reference
+  flip.  The report adds the streaming ledger (offered = visible +
+  dropped, drained), per-version staleness records, and fold-in lag
+  percentiles; ``--assert-staleness-bounded`` turns the staleness SLO
+  into an exit code.  Emits ``BENCH_streaming_load.json`` — see
+  DESIGN.md §11 and docs/OPERATIONS.md §10.
 
 A warmup phase (excluded from all reported stats) trains the
 :class:`~repro.serving.lifecycle.LadderPolicy` EWMA estimates, so the
@@ -57,13 +67,21 @@ import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.embeddings import EmbeddingSet
+from repro.core.fold_in import EventFoldIn, FoldInConfig
 from repro.core.store import MANIFEST_NAME, MemmapStore
+from repro.data import ArrivalTraceConfig, EventArrival, generate_arrival_trace
 from repro.data.presets import get_preset
+from repro.data.synthetic import SyntheticConfig
 from repro.ebsn.graphs import EntityType
+from repro.ebsn.regions import RegionAssignment
+from repro.ebsn.text import build_vocabulary
+from repro.ebsn.timeslots import N_TIME_SLOTS
 from repro.obs import (
     FlightRecorder,
     MetricsExporter,
@@ -71,12 +89,17 @@ from repro.obs import (
     audit_trace,
     engine_families,
     flight_families,
+    foldin_families,
     registry_families,
     stamp_outcome,
     tracer_families,
 )
 from repro.serving import (
     AdmissionController,
+    DoubleBufferedEngine,
+    FoldInPump,
+    LadderPolicy,
+    MetricsRegistry,
     RequestContext,
     RequestOutcome,
     ServingEngine,
@@ -108,6 +131,151 @@ def build_engine(
     )
     engine.warm_ladder()
     return engine
+
+
+@dataclass(slots=True)
+class StreamingWorld:
+    """Everything the streaming mode drives, bundled for the report."""
+
+    front: DoubleBufferedEngine
+    pump: FoldInPump
+    arrivals: list[EventArrival]
+    base_events: int
+    trace_config: ArrivalTraceConfig
+
+
+def build_streaming_world(
+    args: argparse.Namespace, *, tracer: Tracer | None = None
+) -> StreamingWorld:
+    """A double-buffered front plus a fold-in pump over synthetic attributes.
+
+    Same synthetic-on-purpose reasoning as :func:`build_engine`, with one
+    addition: fold-in needs the *attribute* side of the model (word, time
+    slot and region embeddings plus a vocabulary and region map), so a
+    small deterministic attribute world is built to match the arrival
+    trace's vocabulary (``t{topic}w{i}`` / ``common{i}``).  Both replicas
+    share one metrics registry, ladder policy and tracer, so telemetry
+    and rung estimates stay continuous across reference flips.
+    """
+    rng = np.random.default_rng(args.seed)
+    syn = SyntheticConfig(n_topics=6, words_per_topic=30, n_common_words=40)
+    documents = [
+        [f"t{t}w{i}" for i in range(syn.words_per_topic)]
+        for t in range(syn.n_topics)
+    ] + [[f"common{i}" for i in range(syn.n_common_words)]]
+    vocabulary = build_vocabulary(documents)
+
+    n_regions = 12
+    centroids = np.column_stack(
+        [
+            syn.city_lat + rng.normal(0.0, 0.05, size=n_regions),
+            syn.city_lon + rng.normal(0.0, 0.05, size=n_regions),
+        ]
+    )
+    regions = RegionAssignment(
+        venue_ids=[f"r{i:02d}" for i in range(n_regions)],
+        labels=np.arange(n_regions),
+        n_regions=n_regions,
+        n_clustered_regions=n_regions,
+        centroids=centroids,
+    )
+    embeddings = EmbeddingSet.random(
+        {
+            EntityType.USER: args.users,
+            EntityType.EVENT: args.events,
+            EntityType.WORD: len(vocabulary),
+            EntityType.TIME: N_TIME_SLOTS,
+            EntityType.LOCATION: n_regions,
+        },
+        args.dim,
+        rng=rng,
+    )
+    folder = EventFoldIn(embeddings, vocabulary, regions)
+
+    user_vectors = embeddings.of(EntityType.USER)
+    event_vectors = embeddings.of(EntityType.EVENT)
+    metrics = MetricsRegistry()
+    ladder = LadderPolicy()
+
+    def replica() -> ServingEngine:
+        return ServingEngine(
+            user_vectors,
+            event_vectors,
+            np.arange(args.events, dtype=np.int64),
+            backend=args.backend,
+            cache_size=args.cache_size,
+            tracer=tracer,
+            metrics=metrics,
+            ladder=ladder,
+        )
+
+    front = DoubleBufferedEngine(replica(), replica())
+    front.warm_ladder()
+
+    trace = ArrivalTraceConfig(
+        n_arrivals=args.arrivals,
+        duration_s=args.stream_seconds,
+        flash_crowds=args.flash_crowds,
+        seed=args.seed + 2,
+    )
+    arrivals = generate_arrival_trace(syn, trace)
+    pump = FoldInPump(
+        front,
+        folder,
+        config=FoldInConfig(n_steps=args.foldin_steps, seed=args.seed),
+        max_batch=args.foldin_batch,
+        max_delay_s=args.foldin_delay_ms / 1000.0,
+        tracer=tracer,
+    )
+    return StreamingWorld(
+        front=front,
+        pump=pump,
+        arrivals=arrivals,
+        base_events=front.n_events,
+        trace_config=trace,
+    )
+
+
+def run_streaming_phase(
+    world: StreamingWorld,
+    user_ids: np.ndarray,
+    *,
+    n: int,
+    budget_s: float,
+    workers: int,
+    rate_hz: float,
+    queue_depth: int,
+    tracer: Tracer | None = None,
+) -> list[RequestOutcome]:
+    """Open-loop queries while the pump folds the replayed arrival trace.
+
+    A feeder thread replays the trace at wall-clock pace into the pump;
+    the caller's thread drives the standard open loop against the front
+    concurrently.  On exit the feeder has finished and the pump has
+    drained and stopped, so the streaming ledger in the report is final.
+    """
+    feeder = threading.Thread(
+        target=world.pump.replay,
+        args=(world.arrivals,),
+        name="arrival-feeder",
+        daemon=True,
+    )
+    world.pump.start()
+    feeder.start()
+    try:
+        return run_open_loop(
+            world.front,
+            user_ids,
+            n=n,
+            budget_s=budget_s,
+            workers=workers,
+            rate_hz=rate_hz,
+            queue_depth=queue_depth,
+            tracer=tracer,
+        )
+    finally:
+        feeder.join()
+        world.pump.stop(drain=True)
 
 
 def run_closed_loop(
@@ -144,7 +312,7 @@ def run_closed_loop(
 
 
 def run_open_loop(
-    engine: ServingEngine,
+    engine: ServingEngine | DoubleBufferedEngine,
     user_ids: np.ndarray,
     *,
     n: int,
@@ -453,7 +621,7 @@ def run_capacity(args: argparse.Namespace) -> int:
 
 
 def summarise(
-    engine: ServingEngine,
+    engine: ServingEngine | DoubleBufferedEngine,
     outcomes: list[RequestOutcome],
     *,
     budget_s: float,
@@ -479,7 +647,7 @@ def summarise(
             "warmup": args.warmup,
             "budget_s": budget_s,
             "workers": args.workers,
-            "rate_hz": args.rate if args.mode == "open" else None,
+            "rate_hz": args.rate if args.mode in ("open", "streaming") else None,
             "queue_depth": args.queue_depth,
             "faults": args.faults or None,
             "seed": args.seed,
@@ -501,7 +669,9 @@ def summarise(
             rung: sum(1 for o in answered if o.rung == rung)
             for rung in sorted({o.rung for o in answered if o.rung})
         },
-        "ladder_estimates_s": engine.ladder.estimates(),
+        "ladder_estimates_s": (
+            engine.ladder.estimates() if engine.ladder is not None else None
+        ),
     }
     if tracer is not None:
         summary = tracer.span_summary()
@@ -529,7 +699,9 @@ def main(argv: list[str] | None = None) -> int:
         description=__doc__.splitlines()[0],
     )
     parser.add_argument(
-        "--mode", choices=("closed", "open", "capacity"), default="closed"
+        "--mode",
+        choices=("closed", "open", "capacity", "streaming"),
+        default="closed",
     )
     parser.add_argument("--backend", default="ta")
     parser.add_argument("--users", type=int, default=200)
@@ -601,6 +773,57 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero unless every sampled sharded top-n is "
              "bit-identical to a single-index reference engine",
     )
+    streaming = parser.add_argument_group("streaming mode")
+    streaming.add_argument(
+        "--arrivals",
+        type=int,
+        default=48,
+        help="post-training events replayed over the stream",
+    )
+    streaming.add_argument(
+        "--stream-seconds",
+        type=float,
+        default=1.5,
+        help="wall-clock length of the arrival trace (keep it below "
+             "requests/rate so queries outlast the folds)",
+    )
+    streaming.add_argument(
+        "--flash-crowds",
+        type=int,
+        default=1,
+        help="arrival bursts concentrated into narrow windows (0 = smooth)",
+    )
+    streaming.add_argument(
+        "--foldin-batch",
+        type=int,
+        default=8,
+        help="max arrivals folded per shadow-refresh-and-flip",
+    )
+    streaming.add_argument(
+        "--foldin-delay-ms",
+        type=float,
+        default=30.0,
+        help="how long the pump waits for a batch to fill",
+    )
+    streaming.add_argument(
+        "--foldin-steps",
+        type=int,
+        default=120,
+        help="SGD steps per folded event (trainer default is 400; the "
+             "harness measures the serving path, not embedding quality)",
+    )
+    streaming.add_argument(
+        "--staleness-budget-s",
+        type=float,
+        default=2.0,
+        help="fold-in lag SLO checked by --assert-staleness-bounded",
+    )
+    streaming.add_argument(
+        "--assert-staleness-bounded",
+        action="store_true",
+        help="exit non-zero unless every arrival became visible (zero "
+             "dropped) and p99 fold-in lag <= --staleness-budget-s",
+    )
     tracing = parser.add_argument_group("tracing / observability")
     tracing.add_argument(
         "--trace",
@@ -652,9 +875,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.out is None:
         args.out = Path(
-            "BENCH_sharded_load.json"
-            if args.mode == "capacity"
-            else "BENCH_serving_load.json"
+            {
+                "capacity": "BENCH_sharded_load.json",
+                "streaming": "BENCH_streaming_load.json",
+            }.get(args.mode, "BENCH_serving_load.json")
         )
     if args.mode == "capacity":
         return run_capacity(args)
@@ -668,7 +892,12 @@ def main(argv: list[str] | None = None) -> int:
     flight = FlightRecorder(capacity=args.flight_capacity) if tracing_on else None
     tracer = Tracer(recorder=flight) if tracing_on else None
 
-    engine = build_engine(args, tracer=tracer)
+    world: StreamingWorld | None = None
+    if args.mode == "streaming":
+        world = build_streaming_world(args, tracer=tracer)
+        engine: ServingEngine | DoubleBufferedEngine = world.front
+    else:
+        engine = build_engine(args, tracer=tracer)
     if args.faults:
         install(parse_faults(args.faults))
 
@@ -687,7 +916,20 @@ def main(argv: list[str] | None = None) -> int:
         flight.clear()
 
     t0 = time.perf_counter()
-    if args.mode == "closed":
+    if args.mode == "streaming":
+        assert world is not None
+        outcomes = run_streaming_phase(
+            world,
+            load_users,
+            n=args.n,
+            budget_s=budget_s,
+            workers=args.workers,
+            rate_hz=args.rate,
+            queue_depth=args.queue_depth,
+            tracer=tracer,
+        )
+    elif args.mode == "closed":
+        assert isinstance(engine, ServingEngine)
         outcomes = run_closed_loop(
             engine,
             load_users,
@@ -717,6 +959,21 @@ def main(argv: list[str] | None = None) -> int:
         tracer=tracer,
         flight=flight,
     )
+    if world is not None:
+        pump_summary = world.pump.summary()
+        report["streaming"] = {
+            "arrivals": {
+                "n_arrivals": world.trace_config.n_arrivals,
+                "duration_s": world.trace_config.duration_s,
+                "flash_crowds": world.trace_config.flash_crowds,
+                "seed": world.trace_config.seed,
+            },
+            "events_at_start": world.base_events,
+            "events_visible": world.front.n_events,
+            "final_version": world.front.version,
+            "staleness_budget_s": args.staleness_budget_s,
+            "pump": pump_summary,
+        }
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
     if flight is not None and args.flight_dump is not None:
@@ -726,6 +983,8 @@ def main(argv: list[str] | None = None) -> int:
         def collect():
             families = registry_families(engine.metrics)
             families += engine_families(engine)
+            if world is not None:
+                families += foldin_families(world.pump)
             if tracer is not None:
                 families += tracer_families(tracer)
             if flight is not None:
@@ -757,11 +1016,64 @@ def main(argv: list[str] | None = None) -> int:
     )
     if per_rung:
         print(f"  per rung: {per_rung}")
+    if world is not None:
+        streaming_report = report["streaming"]
+        pump_summary = streaming_report["pump"]
+        lag = pump_summary["lag_percentiles"]
+        print(
+            f"  streaming: {pump_summary['offered']} arrivals -> "
+            f"{pump_summary['visible']} visible, "
+            f"{pump_summary['dropped']} dropped, "
+            f"{pump_summary['swaps']} swaps over "
+            f"{pump_summary['batches']} batches "
+            f"({pump_summary['errors']} fold errors retried); index "
+            f"{streaming_report['events_at_start']} -> "
+            f"{streaming_report['events_visible']} events at version "
+            f"{streaming_report['final_version']}"
+        )
+        print(
+            f"  fold-in lag p50={lag['p50'] * 1000:.0f}ms "
+            f"p99={lag['p99'] * 1000:.0f}ms "
+            f"(staleness budget {args.staleness_budget_s:.1f}s)"
+        )
     print(f"  wrote {args.out}")
 
     failures = []
     if args.assert_no_silent_drops and report["silent_drops"] != 0:
         failures.append(f"silent drops: {report['silent_drops']}")
+    if world is not None:
+        counters = report["streaming"]["pump"]
+        if args.assert_no_silent_drops:
+            ledger_gap = (
+                counters["offered"]
+                - counters["visible"]
+                - counters["dropped"]
+                - counters["pending"]
+            )
+            if ledger_gap != 0 or counters["pending"] != 0:
+                failures.append(
+                    f"arrival ledger imbalance: offered {counters['offered']} "
+                    f"!= visible {counters['visible']} + dropped "
+                    f"{counters['dropped']} (pending {counters['pending']} "
+                    "after drain)"
+                )
+        if args.assert_staleness_bounded:
+            if counters["dropped"] != 0:
+                failures.append(
+                    f"{counters['dropped']} arrivals dropped after "
+                    "exhausting fold retries — never became visible"
+                )
+            if counters["visible"] != counters["offered"]:
+                failures.append(
+                    f"only {counters['visible']}/{counters['offered']} "
+                    "arrivals visible after drain"
+                )
+            lag_p99 = counters["lag_percentiles"]["p99"]
+            if lag_p99 > args.staleness_budget_s:
+                failures.append(
+                    f"fold-in lag p99 {lag_p99:.3f}s exceeds staleness "
+                    f"budget {args.staleness_budget_s:.3f}s"
+                )
     if args.assert_complete_traces and flight is not None:
         interesting = sum(
             1

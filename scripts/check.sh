@@ -37,6 +37,19 @@
 #                scraped over HTTP and validated with the strict
 #                Prometheus text-format parser (scripts/obs_smoke.py;
 #                writes BENCH_obs_smoke.json + FLIGHT_obs_smoke.json)
+#  10. streaming smoke — the streaming mode of the load harness:
+#                open-loop queries against a DoubleBufferedEngine while
+#                the FoldInPump replays a flash-crowd arrival trace
+#                under injected fold faults, asserting p99 within
+#                budget, complete traces, the zero-silent-drop arrival
+#                ledger, and the staleness SLO (writes
+#                BENCH_streaming_smoke.json; the committed
+#                BENCH_streaming_load.json is the reference run and is
+#                never overwritten here; see docs/OPERATIONS.md §10)
+#  11. docs links — scripts/check_docs.py: every markdown
+#                cross-reference and anchor in README/DESIGN/
+#                EXPERIMENTS/docs resolves, and every `file:line`
+#                pointer in docs/ARCHITECTURE.md is in range
 #
 # ruff and mypy are skipped with a warning when not installed (minimal
 # containers); when present, any finding fails the gate.  Fails fast on
@@ -96,3 +109,17 @@ PYTHONPATH=src:.${PYTHONPATH:+:$PYTHONPATH} python benchmarks/load_harness.py \
 
 echo "== observability smoke =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python scripts/obs_smoke.py
+
+echo "== streaming ingestion smoke =="
+PYTHONPATH=src:.${PYTHONPATH:+:$PYTHONPATH} python benchmarks/load_harness.py \
+    --mode streaming --requests 400 --rate 250 \
+    --arrivals 32 --stream-seconds 1.2 --budget-ms 50 \
+    --foldin-batch 16 --foldin-delay-ms 60 \
+    --faults "backend.query:delay=0.02;foldin.apply:error=0.5;seed=13" \
+    --trace --assert-complete-traces \
+    --assert-p99-within-budget --assert-no-silent-drops \
+    --assert-staleness-bounded --staleness-budget-s 3.0 \
+    --out BENCH_streaming_smoke.json
+
+echo "== docs cross-references =="
+python scripts/check_docs.py

@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Docs link checker: every cross-reference in the docs must resolve.
+
+Scans README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md for
+
+1. Markdown links ``[text](target)`` — the relative target file must
+   exist, and a ``#fragment`` must match a heading in the target file
+   (GitHub-style slugs, e.g. ``DESIGN.md#8-request-lifecycle-...``).
+2. Backticked code pointers like ``src/repro/serving/streaming.py:219``
+   — the file must exist (``repro/...`` module paths resolve under
+   ``src/``) and, when a line number is given, actually have that many
+   lines.  This is what keeps docs/ARCHITECTURE.md's file:line tour
+   honest as the code moves.
+
+External (``http(s)://``, ``mailto:``) targets are not fetched.
+Exit status 0 when every reference resolves; 1 with one line per
+broken reference otherwise.  Stdlib only; runs as a stage of
+scripts/check.sh and in CI.
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+# `path/to/file.py:123`-style pointers inside backticks; a '/' is
+# required so bare names like `serve.py` in prose are not guessed at.
+CODE_POINTER = re.compile(
+    r"`([A-Za-z0-9_.\-]+(?:/[A-Za-z0-9_.\-]+)+"
+    r"\.(?:py|md|sh|json|toml|yml))(?::(\d+))?`"
+)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_paths() -> list[Path]:
+    """The markdown set under check: top-level docs plus docs/*.md."""
+    paths = [ROOT / name for name in DOC_FILES if (ROOT / name).exists()]
+    paths.extend(sorted((ROOT / "docs").glob("*.md")))
+    return paths
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: drop punctuation, dash spaces."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)   # inline code keeps text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
+    return re.sub(r"\s+", "-", text)
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every GitHub-style anchor a file's headings define."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match is None:
+            continue
+        slug = github_slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def strip_fences(text: str) -> str:
+    """Remove fenced code blocks (their contents are not references)."""
+    out: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def resolve_code_path(raw: str) -> Path | None:
+    """A repo-relative pointer, or a repro/... module path under src/."""
+    direct = ROOT / raw
+    if direct.exists():
+        return direct
+    nested = ROOT / "src" / raw
+    if nested.exists():
+        return nested
+    shorthand = ROOT / "src" / "repro" / raw   # e.g. `core/alias.py`
+    if shorthand.exists():
+        return shorthand
+    return None
+
+
+def check_markdown_links(doc: Path, text: str, problems: list[str]) -> None:
+    """Verify every [text](target) file and #fragment in one document."""
+    own_anchors: set[str] | None = None
+    for match in MD_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            dest = (doc.parent / path_part).resolve()
+            if not dest.exists():
+                problems.append(
+                    f"{doc.relative_to(ROOT)}: broken link target "
+                    f"'{target}' ({path_part} does not exist)"
+                )
+                continue
+        else:
+            dest = doc
+        if not fragment:
+            continue
+        if dest.suffix != ".md":
+            continue
+        if dest == doc:
+            if own_anchors is None:
+                own_anchors = anchors_of(doc)
+            available = own_anchors
+        else:
+            available = anchors_of(dest)
+        if fragment.lower() not in available:
+            problems.append(
+                f"{doc.relative_to(ROOT)}: anchor '#{fragment}' not found "
+                f"in {dest.relative_to(ROOT)}"
+            )
+
+
+def check_code_pointers(doc: Path, text: str, problems: list[str]) -> None:
+    """Verify every `path/file.py:NNN` pointer in one document."""
+    for match in CODE_POINTER.finditer(text):
+        raw, line_no = match.group(1), match.group(2)
+        resolved = resolve_code_path(raw)
+        if resolved is None:
+            problems.append(
+                f"{doc.relative_to(ROOT)}: code pointer '{raw}' "
+                "names a file that does not exist"
+            )
+            continue
+        if line_no is not None:
+            n_lines = len(
+                resolved.read_text(encoding="utf-8").splitlines()
+            )
+            if int(line_no) > n_lines:
+                problems.append(
+                    f"{doc.relative_to(ROOT)}: pointer '{raw}:{line_no}' "
+                    f"is past the end of the file ({n_lines} lines)"
+                )
+
+
+def main() -> int:
+    """Check every document; print each broken reference; 0 iff clean."""
+    problems: list[str] = []
+    docs = doc_paths()
+    for doc in docs:
+        text = strip_fences(doc.read_text(encoding="utf-8"))
+        check_markdown_links(doc, text, problems)
+        check_code_pointers(doc, text, problems)
+    for problem in problems:
+        print(problem)
+    print(
+        f"check_docs: {len(docs)} files, "
+        f"{len(problems)} broken reference(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

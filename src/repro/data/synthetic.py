@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -44,6 +45,9 @@ from repro.ebsn.dbscan import EARTH_RADIUS_KM
 from repro.ebsn.entities import Attendance, Event, Friendship, User, Venue
 from repro.ebsn.network import EBSN
 from repro.utils.rng import ensure_rng
+
+if TYPE_CHECKING:  # runtime import deferred: repro.core imports repro.data
+    from repro.core.fold_in import NewEventDescription
 
 #: POSIX seconds for 2012-01-01T00:00:00Z — generator epoch, matching the
 #: tail of the paper's Sep 2005 - Dec 2012 crawl window.
@@ -160,6 +164,63 @@ class SyntheticConfig:
             raise ValueError("hidden_trait_strength must be >= 0")
         if self.user_activity_sigma < 0:
             raise ValueError("user_activity_sigma must be >= 0")
+
+
+@dataclass(slots=True)
+class ArrivalTraceConfig:
+    """Knobs for the post-training event-arrival stream.
+
+    The trace models a live EBSN where new events keep appearing after
+    the model has been trained (ROADMAP item 2): each arrival carries a
+    wall-clock offset from stream start plus the content/venue/time
+    attributes fold-in needs (:class:`repro.core.fold_in.
+    NewEventDescription`).  Arrivals are Poisson-ish uniform by default;
+    ``flash_crowds`` concentrates a fraction of them into narrow bursts,
+    the arrival pattern real EBSNs exhibit around announcements.
+    """
+
+    #: Number of events arriving over the trace.
+    n_arrivals: int = 64
+    #: Wall-clock length of the trace in seconds.
+    duration_s: float = 2.0
+    #: Number of flash-crowd bursts (0 = smooth arrivals).
+    flash_crowds: int = 0
+    #: Burst width as a fraction of ``duration_s`` (Gaussian sigma).
+    flash_crowd_width: float = 0.02
+    #: Fraction of arrivals concentrated inside bursts.
+    flash_crowd_mass: float = 0.6
+    #: New events start up to this many days after the training horizon
+    #: (arrivals are announcements of *future* events).
+    start_lead_days: float = 7.0
+    seed: int = 11
+
+    def validate(self) -> None:
+        """Fail fast on inconsistent trace settings."""
+        if self.n_arrivals <= 0:
+            raise ValueError(f"n_arrivals must be > 0, got {self.n_arrivals}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.flash_crowds < 0:
+            raise ValueError("flash_crowds must be >= 0")
+        if self.flash_crowd_width <= 0:
+            raise ValueError("flash_crowd_width must be > 0")
+        if not 0.0 <= self.flash_crowd_mass <= 1.0:
+            raise ValueError("flash_crowd_mass must be in [0, 1]")
+        if self.start_lead_days < 0:
+            raise ValueError("start_lead_days must be >= 0")
+
+
+@dataclass(slots=True)
+class EventArrival:
+    """One post-training event arrival: stream offset plus attributes.
+
+    ``offset_s`` is seconds from stream start (sorted ascending across a
+    trace); ``event`` is the fold-in description a deployed system would
+    receive from the event's announcement.
+    """
+
+    offset_s: float
+    event: "NewEventDescription"
 
 
 @dataclass(slots=True)
@@ -625,8 +686,118 @@ class SyntheticEBSNGenerator:
                 )
         return attendances
 
+    # ------------------------------------------------------------------
+    # Post-training arrivals (the streaming-ingestion workload)
+    # ------------------------------------------------------------------
+    def generate_arrival_trace(
+        self, trace: ArrivalTraceConfig
+    ) -> list[EventArrival]:
+        """A timestamped, seeded stream of post-training event arrivals.
+
+        Emits ``trace.n_arrivals`` events over ``trace.duration_s``
+        seconds of stream time.  Content reuses the generator's
+        deterministic vocabulary (``t{topic}w{i}`` topic words and
+        ``common{i}`` background words, Zipf-weighted like
+        :meth:`_sample_events`) so a vocabulary built from the training
+        EBSN recognises the arrivals' tokens; venues scatter around the
+        same geographic centres, and start times fall shortly *after*
+        the training horizon — arrivals are announcements of future
+        events, the cold-start case Section IV's fold-in answers.
+
+        With ``trace.flash_crowds > 0``, ``flash_crowd_mass`` of the
+        arrivals concentrate into Gaussian bursts at random instants —
+        the bursty arrival pattern the fold-in pump must absorb without
+        blocking queries (see :mod:`repro.serving.streaming`).
+
+        Fully determined by ``trace.seed`` (independent of the seed used
+        for :meth:`generate`).  Returns arrivals sorted by offset.
+        """
+        from repro.core.fold_in import NewEventDescription
+
+        trace.validate()
+        cfg = self.config
+        cfg.validate()
+        rng = ensure_rng(trace.seed)
+        n = trace.n_arrivals
+
+        # Arrival instants: uniform background, optionally re-routed
+        # into narrow bursts.
+        base = rng.uniform(0.0, trace.duration_s, size=n)
+        if trace.flash_crowds > 0:
+            burst_at = rng.uniform(0.1, 0.9, size=trace.flash_crowds)
+            burst_at *= trace.duration_s
+            in_burst = rng.random(n) < trace.flash_crowd_mass
+            which = rng.integers(0, trace.flash_crowds, size=n)
+            sigma = trace.flash_crowd_width * trace.duration_s
+            bursty = burst_at[which] + rng.normal(0.0, sigma, size=n)
+            offsets = np.where(in_burst, bursty, base)
+        else:
+            offsets = base
+        offsets = np.sort(np.clip(offsets, 0.0, trace.duration_s))
+
+        centers_km = self._sample_geo_centers(rng)
+        topic_popularity = rng.dirichlet(np.full(cfg.n_topics, 3.0))
+        topics = rng.choice(cfg.n_topics, size=n, p=topic_popularity)
+        common_words = [f"common{i}" for i in range(cfg.n_common_words)]
+        common_rank = np.arange(1, cfg.n_common_words + 1, dtype=np.float64)
+        common_p = (1.0 / common_rank) / np.sum(1.0 / common_rank)
+        word_rank = np.arange(1, cfg.words_per_topic + 1, dtype=np.float64)
+        topic_word_p = (1.0 / word_rank) / np.sum(1.0 / word_rank)
+        horizon_end = cfg.epoch + cfg.horizon_days * SECONDS_PER_DAY
+
+        arrivals: list[EventArrival] = []
+        for i in range(n):
+            topic = int(topics[i])
+            n_topic_words = int(round(cfg.words_per_event * cfg.topic_word_ratio))
+            n_common = cfg.words_per_event - n_topic_words
+            topic_vocab = self._topic_words(topic)
+            words = [
+                topic_vocab[int(w)]
+                for w in rng.choice(
+                    cfg.words_per_topic, size=n_topic_words, p=topic_word_p
+                )
+            ]
+            words += [
+                common_words[int(w)]
+                for w in rng.choice(cfg.n_common_words, size=n_common, p=common_p)
+            ]
+            rng.shuffle(words)
+
+            center = int(rng.integers(0, cfg.n_geo_centers))
+            dx, dy = centers_km[center] + rng.normal(
+                0.0, cfg.venue_scatter_km, size=2
+            )
+            lat, lon = _km_offsets_to_latlon(
+                cfg.city_lat, cfg.city_lon, np.float64(dx), np.float64(dy)
+            )
+
+            start = (
+                horizon_end
+                + rng.uniform(0.0, trace.start_lead_days) * SECONDS_PER_DAY
+                + float(rng.integers(0, 24)) * SECONDS_PER_HOUR
+            )
+            arrivals.append(
+                EventArrival(
+                    offset_s=float(offsets[i]),
+                    event=NewEventDescription(
+                        description=" ".join(words),
+                        venue_lat=float(lat),
+                        venue_lon=float(lon),
+                        start_time=float(start),
+                    ),
+                )
+            )
+        return arrivals
+
 
 def generate_ebsn(config: SyntheticConfig) -> tuple[EBSN, SyntheticGroundTruth]:
     """Convenience wrapper: generate an EBSN (and its hidden truth) from a
     config."""
     return SyntheticEBSNGenerator(config).generate()
+
+
+def generate_arrival_trace(
+    config: SyntheticConfig, trace: ArrivalTraceConfig
+) -> list[EventArrival]:
+    """Convenience wrapper: the arrival stream for a synthetic world."""
+    return SyntheticEBSNGenerator(config).generate_arrival_trace(trace)

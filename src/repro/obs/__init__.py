@@ -24,6 +24,7 @@ from repro.obs.exporter import (
     ScrapeResult,
     engine_families,
     flight_families,
+    foldin_families,
     parse_exposition,
     profile_families,
     registry_families,
@@ -54,6 +55,7 @@ __all__ = [
     "default_interesting",
     "engine_families",
     "flight_families",
+    "foldin_families",
     "parse_exposition",
     "profile_families",
     "registry_families",

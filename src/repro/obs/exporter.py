@@ -436,6 +436,76 @@ def flight_families(
     return [fam, resident]
 
 
+def foldin_families(
+    pump: object, *, prefix: str = "repro"
+) -> list[MetricFamily]:
+    """Streaming-ingestion staleness families from a fold-in pump.
+
+    ``pump`` is duck-typed on ``summary()`` returning the
+    :meth:`repro.serving.streaming.FoldInPump.summary` payload (this
+    module never imports ``repro.serving`` at runtime).  Exports the
+    zero-silent-drop ledger (arrivals offered / visible / pending /
+    dropped), fold errors and wedged swaps, published swap count,
+    overall fold-in lag percentiles, and per-version staleness for the
+    recently published versions (events made visible and max lag at
+    each version stamp).
+    """
+    summary = pump.summary()  # type: ignore[attr-defined]
+    arrivals = MetricFamily(
+        f"{prefix}_foldin_arrivals", "counter",
+        "Post-training event arrivals by ledger state "
+        "(offered = visible + pending + dropped)",
+    )
+    for state in ("offered", "visible", "dropped"):
+        arrivals.add(int(summary[state]), state=state)
+    pending = MetricFamily(
+        f"{prefix}_foldin_pending", "gauge",
+        "Arrivals offered but not yet visible or dropped",
+    ).add(int(summary["pending"]))
+    errors = MetricFamily(
+        f"{prefix}_foldin_errors_total", "counter",
+        "Failed fold attempts by kind (every failure is retried or "
+        "explicitly dropped)",
+    )
+    errors.add(int(summary["errors"]), kind="all")
+    errors.add(int(summary["wedged"]), kind="wedged_swap")
+    swaps = MetricFamily(
+        f"{prefix}_foldin_swaps_total", "counter",
+        "Index reference flips published by the double-buffered front",
+    ).add(int(summary["swaps"]))
+    lag = MetricFamily(
+        f"{prefix}_foldin_lag_seconds", "gauge",
+        "Fold-in lag (arrival offer to visibility flip), nearest-rank "
+        "percentiles over recent arrivals",
+    )
+    percentiles = summary.get("lag_percentiles")
+    if isinstance(percentiles, dict):
+        for key, value in sorted(percentiles.items()):
+            lag.add(float(value), quantile=key)
+    families = [arrivals, pending, errors, swaps, lag]
+    versions = summary.get("versions")
+    if isinstance(versions, list) and versions:
+        per_version_events = MetricFamily(
+            f"{prefix}_foldin_version_events", "gauge",
+            "Events made visible at each recently published version",
+        )
+        per_version_lag = MetricFamily(
+            f"{prefix}_foldin_version_lag_seconds", "gauge",
+            "Max fold-in lag of the batch published at each recent version",
+        )
+        for record in versions:
+            if not isinstance(record, dict):
+                continue
+            per_version_events.add(
+                int(record["events"]), version=record["version"]
+            )
+            per_version_lag.add(
+                float(record["lag_max_s"]), version=record["version"]
+            )
+        families.extend([per_version_events, per_version_lag])
+    return families
+
+
 # ----------------------------------------------------------------------
 # the exporter
 # ----------------------------------------------------------------------

@@ -15,6 +15,15 @@ drives it concurrently behind a bounded admission queue with explicit
 load shedding — see :mod:`repro.serving.lifecycle`,
 :mod:`repro.serving.faults`, DESIGN.md §8 and docs/OPERATIONS.md.
 
+Scale-out and streaming ride on the same surface:
+:class:`ShardedServingEngine` partitions candidate partners into
+contiguous rank shards with an exact top-n merge (DESIGN.md, PR 5),
+and :mod:`repro.serving.streaming` serves live traffic while folding
+in post-training event arrivals — a :class:`FoldInPump` batches
+arrivals into a shadow replica and a :class:`DoubleBufferedEngine`
+publishes it with an atomic reference flip, so queries never block on
+a rebuild (DESIGN.md §11, docs/OPERATIONS.md §10).
+
 The legacy :class:`repro.online.EventPartnerRecommender` and
 ``repro.online.tasks`` APIs remain as thin facades over this engine.
 """
@@ -53,6 +62,12 @@ from repro.serving.lifecycle import (
     RequestOutcome,
 )
 from repro.serving.sharded import ShardedServingEngine, merge_sharded_topn
+from repro.serving.streaming import (
+    DoubleBufferedEngine,
+    FoldInPump,
+    StalenessRecord,
+    SwapWedgedError,
+)
 from repro.serving.telemetry import (
     BuildStats,
     MetricsRegistry,
@@ -65,7 +80,9 @@ __all__ = [
     "BruteForceBackend",
     "BuildStats",
     "DEFAULT_PRUNED_FRACTION",
+    "DoubleBufferedEngine",
     "FaultPlan",
+    "FoldInPump",
     "FaultSpec",
     "InjectedFault",
     "LadderPolicy",
@@ -81,6 +98,8 @@ __all__ = [
     "SHED_RUNGS_EXHAUSTED",
     "ServingEngine",
     "ShardedServingEngine",
+    "StalenessRecord",
+    "SwapWedgedError",
     "ThresholdAlgorithmBackend",
     "merge_sharded_topn",
     "active_plan",

@@ -35,9 +35,11 @@ NumPy arrays, and the result/stale caches and telemetry are
 lock-protected.  Maintenance (:meth:`warm`, :meth:`warm_ladder`,
 :meth:`rebuild`, :meth:`refresh`) is serialised on an internal build
 lock against *itself*, but is **not** linearisable with in-flight
-queries — quiesce traffic (or serve from a second engine) before
-refreshing in a multi-threaded deployment.  See DESIGN.md §8 and
-docs/OPERATIONS.md.
+queries — in a multi-threaded deployment, serve through the
+double-buffered front (:class:`repro.serving.streaming.
+DoubleBufferedEngine`), which folds into a shadow replica and
+publishes it with an atomic reference flip, or quiesce traffic before
+refreshing.  See DESIGN.md §8/§11 and docs/OPERATIONS.md.
 """
 
 from __future__ import annotations
@@ -466,7 +468,9 @@ class ServingEngine:
         cache (the stale-answer cache intentionally survives) and drops
         the pruned sibling rung until the next :meth:`warm_ladder`.
         Serialised on the build lock; not linearisable with in-flight
-        queries.  Returns the number of events actually added.
+        queries — the zero-downtime spelling is
+        :meth:`repro.serving.streaming.DoubleBufferedEngine.refresh`.
+        Returns the number of events actually added.
         """
         with self._build_lock:
             return self._refresh_locked(new_event_ids, new_event_vectors)

@@ -260,6 +260,27 @@ class ShardedServingEngine:
         return self._shards[0].n_users
 
     @property
+    def n_events(self) -> int:
+        """Rows of the event embedding matrix (all shards agree).
+
+        Part of the ``fold_into_engine``/:class:`~repro.serving.
+        streaming.DoubleBufferedEngine` refresh contract: the next free
+        global event id is ``n_events``.
+        """
+        return self._shards[0].n_events
+
+    def index_age_s(self) -> float:
+        """Staleness age of the most-lagged shard index (-1 unbuilt).
+
+        The pessimistic aggregate of :meth:`ServingEngine.index_age_s`:
+        the age an operator should alarm on is the oldest shard's.
+        """
+        ages = [sh.index_age_s() for sh in self._shards]
+        if any(age < 0 for age in ages):
+            return -1.0
+        return max(ages)
+
+    @property
     def n_candidate_pairs(self) -> int:
         """Total candidate pairs across all shard indices (builds them)."""
         self.warm()
@@ -351,7 +372,9 @@ class ShardedServingEngine:
         appended event-major blocks stay aligned across shards and the
         exact merge keeps working (the appended-segment key formula).
         Returns the number of events added (identical on every shard).
-        Not linearisable with in-flight queries.
+        Not linearisable with in-flight queries — serve through a
+        :class:`repro.serving.streaming.DoubleBufferedEngine` for
+        zero-downtime folds.
         """
         with self._build_lock:
             added = [

@@ -1,0 +1,424 @@
+"""Tests for streaming ingestion: double-buffered swap + fold-in pump.
+
+The load-bearing test is :meth:`TestDoubleBufferedEngine.
+test_fold_into_engine_old_or_new_only`: concurrent queries against a
+front being folded into must only ever observe *complete* index
+versions — each recorded ``(version, n_candidates)`` pair matches a
+published snapshot exactly, never a half-swapped combination.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.embeddings import EmbeddingSet
+from repro.core.fold_in import EventFoldIn, FoldInConfig
+from repro.data import ArrivalTraceConfig, generate_arrival_trace
+from repro.data.synthetic import SyntheticConfig
+from repro.ebsn.graphs import EntityType
+from repro.ebsn.regions import RegionAssignment
+from repro.ebsn.text import build_vocabulary
+from repro.ebsn.timeslots import N_TIME_SLOTS
+from repro.serving import (
+    DoubleBufferedEngine,
+    FoldInPump,
+    LadderPolicy,
+    MetricsRegistry,
+    ServingEngine,
+    ShardedServingEngine,
+    SwapWedgedError,
+)
+
+DIM = 8
+SYN = SyntheticConfig(n_topics=3, words_per_topic=10, n_common_words=8)
+
+
+def make_front(
+    *, users=30, events=40, seed=7, quiesce_timeout_s=5.0
+) -> DoubleBufferedEngine:
+    """Twin warmed engines over one synthetic model, shared telemetry."""
+    rng = np.random.default_rng(seed)
+    user_vectors = np.abs(rng.normal(size=(users, DIM))).astype(np.float32)
+    event_vectors = np.abs(rng.normal(size=(events, DIM))).astype(np.float32)
+    metrics = MetricsRegistry()
+    ladder = LadderPolicy()
+
+    def replica() -> ServingEngine:
+        return ServingEngine(
+            user_vectors,
+            event_vectors,
+            np.arange(events, dtype=np.int64),
+            backend="ta",
+            cache_size=0,
+            metrics=metrics,
+            ladder=ladder,
+        )
+
+    front = DoubleBufferedEngine(
+        replica(), replica(), quiesce_timeout_s=quiesce_timeout_s
+    )
+    front.warm()
+    return front
+
+
+def make_folder(seed=3) -> EventFoldIn:
+    """A fold-in learner over a tiny attribute world matching ``SYN``."""
+    documents = [
+        [f"t{t}w{i}" for i in range(SYN.words_per_topic)]
+        for t in range(SYN.n_topics)
+    ] + [[f"common{i}" for i in range(SYN.n_common_words)]]
+    vocabulary = build_vocabulary(documents)
+    n_regions = 4
+    rng = np.random.default_rng(seed)
+    centroids = np.column_stack(
+        [
+            SYN.city_lat + rng.normal(0.0, 0.05, size=n_regions),
+            SYN.city_lon + rng.normal(0.0, 0.05, size=n_regions),
+        ]
+    )
+    regions = RegionAssignment(
+        venue_ids=[f"r{i}" for i in range(n_regions)],
+        labels=np.arange(n_regions),
+        n_regions=n_regions,
+        n_clustered_regions=n_regions,
+        centroids=centroids,
+    )
+    embeddings = EmbeddingSet.random(
+        {
+            EntityType.WORD: len(vocabulary),
+            EntityType.TIME: N_TIME_SLOTS,
+            EntityType.LOCATION: n_regions,
+        },
+        DIM,
+        rng=rng,
+    )
+    return EventFoldIn(embeddings, vocabulary, regions)
+
+
+def make_arrivals(n, *, seed=5, **kwargs):
+    trace = ArrivalTraceConfig(
+        n_arrivals=n, duration_s=0.2, seed=seed, **kwargs
+    )
+    return generate_arrival_trace(SYN, trace)
+
+
+def fold_vectors(rng, n):
+    return np.abs(rng.normal(size=(n, DIM))).astype(np.float32)
+
+
+class TestArrivalTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalTraceConfig(n_arrivals=0).validate()
+        with pytest.raises(ValueError):
+            ArrivalTraceConfig(duration_s=0.0).validate()
+        with pytest.raises(ValueError):
+            ArrivalTraceConfig(flash_crowds=-1).validate()
+        with pytest.raises(ValueError):
+            ArrivalTraceConfig(flash_crowd_mass=1.5).validate()
+
+    def test_deterministic_and_sorted(self):
+        a = make_arrivals(24, seed=9)
+        b = make_arrivals(24, seed=9)
+        assert [x.offset_s for x in a] == [x.offset_s for x in b]
+        assert [x.event.description for x in a] == [
+            x.event.description for x in b
+        ]
+        offsets = [x.offset_s for x in a]
+        assert offsets == sorted(offsets)
+        assert all(0.0 <= o <= 0.2 for o in offsets)
+
+    def test_flash_crowd_concentrates_arrivals(self):
+        def tightest_half_window(arrivals):
+            offsets = sorted(x.offset_s for x in arrivals)
+            half = len(offsets) // 2
+            return min(
+                offsets[i + half] - offsets[i]
+                for i in range(len(offsets) - half)
+            )
+
+        smooth = make_arrivals(40, seed=9)
+        bursty = make_arrivals(
+            40,
+            seed=9,
+            flash_crowds=1,
+            flash_crowd_width=0.01,
+            flash_crowd_mass=0.9,
+        )
+        assert tightest_half_window(bursty) < tightest_half_window(smooth) / 2
+
+    def test_tokens_recognised_by_matching_vocabulary(self):
+        folder = make_folder()
+        events = [a.event for a in make_arrivals(4)]
+        vectors = folder.fold_in_many(events, FoldInConfig(n_steps=5))
+        assert vectors.shape == (4, DIM)
+        assert np.all(np.linalg.norm(vectors, axis=1) > 0)
+
+
+class TestDoubleBufferedEngine:
+    def test_replica_validation(self):
+        front = make_front()
+        a, b = front.replicas
+        with pytest.raises(ValueError):
+            DoubleBufferedEngine(a, a)
+        rng = np.random.default_rng(0)
+        smaller = ServingEngine(
+            np.abs(rng.normal(size=(3, DIM))).astype(np.float32),
+            np.abs(rng.normal(size=(4, DIM))).astype(np.float32),
+            np.arange(4, dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            DoubleBufferedEngine(a, smaller)
+        with pytest.raises(ValueError):
+            DoubleBufferedEngine(a, b, quiesce_timeout_s=0.0)
+
+    def test_refresh_flips_and_serves(self):
+        front = make_front(events=20)
+        rng = np.random.default_rng(1)
+        v0, n0 = front.version, front.n_events
+
+        added = front.refresh(
+            np.arange(n0, n0 + 3, dtype=np.int64), fold_vectors(rng, 3)
+        )
+        assert added == 3
+        assert front.version == v0 + 1
+        assert front.n_events == n0 + 3
+        assert front.swap_count == 1
+        # The folded events are queryable through the front.
+        assert len(front.recommend(0, n=5)) == 5
+        result = front.query(1, n=4)
+        assert result.pair_indices.size == 4
+
+    def test_catch_up_keeps_replicas_convergent(self):
+        front = make_front(events=16)
+        rng = np.random.default_rng(2)
+        base = front.n_events
+        for k in range(4):
+            ids = np.arange(base + k, base + k + 1, dtype=np.int64)
+            front.refresh(ids, fold_vectors(rng, 1))
+        # The retired replica lags by exactly the last (unreplayed)
+        # batch; the replay log holds only what it still needs.
+        counts = sorted(r.n_events for r in front.replicas)
+        assert counts == [base + 3, base + 4]
+        assert len(front._log) <= 1
+        # One more refresh catches the laggard up past the previous tip.
+        front.refresh(
+            np.arange(base + 4, base + 5, dtype=np.int64),
+            fold_vectors(rng, 1),
+        )
+        counts = sorted(r.n_events for r in front.replicas)
+        assert counts == [base + 4, base + 5]
+
+    def test_swap_wedged_reader_blocks_then_recovers(self):
+        front = make_front(events=12, quiesce_timeout_s=0.05)
+        rng = np.random.default_rng(3)
+        base = front.n_events
+        pinned = front._pin()
+        try:
+            # First refresh flips away from the pinned replica fine...
+            front.refresh(
+                np.arange(base, base + 1, dtype=np.int64),
+                fold_vectors(rng, 1),
+            )
+            n_after_first = front.n_events
+            # ...but the next one must quiesce it, and the straggler
+            # never drains: wedged, and the fold is NOT applied.
+            with pytest.raises(SwapWedgedError):
+                front.refresh(
+                    np.arange(
+                        n_after_first, n_after_first + 1, dtype=np.int64
+                    ),
+                    fold_vectors(rng, 1),
+                )
+            assert front.n_events == n_after_first
+        finally:
+            pinned.gate.exit()
+        # Reader released: the identical retry succeeds.
+        front.refresh(
+            np.arange(n_after_first, n_after_first + 1, dtype=np.int64),
+            fold_vectors(rng, 1),
+        )
+        assert front.n_events == n_after_first + 1
+
+    def test_fold_into_engine_old_or_new_only(self):
+        """Concurrent queries during folds see complete versions only."""
+        front = make_front(users=24, events=32)
+        folder = make_folder()
+        events = [a.event for a in make_arrivals(9)]
+        snapshots = {front.version: front.active.n_candidate_pairs}
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                while not stop.is_set():
+                    front.query(int(rng.integers(0, 24)), 5)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(f"reader {seed}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=reader, args=(s,), daemon=True)
+            for s in range(4)
+        ]
+        for t in threads:
+            t.start()
+        config = FoldInConfig(n_steps=8, seed=2)
+        try:
+            for start in range(0, len(events), 3):
+                folder.fold_into_engine(
+                    front, events[start:start + 3], config
+                )
+                snapshots[front.version] = front.active.n_candidate_pairs
+                time.sleep(0.01)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        assert not failures
+        assert front.swap_count == 3
+        allowed = set(snapshots.items())
+        observed = {
+            (r.version, r.n_candidates) for r in front.metrics.records
+        }
+        torn = observed - allowed
+        assert not torn, f"half-swapped index observed: {torn}"
+        # The queries actually ran, and spanned the folds.
+        assert len(front.metrics) > 0
+        assert {v for v, _ in observed} <= set(snapshots)
+
+    def test_sharded_replicas_supported(self):
+        rng = np.random.default_rng(11)
+        user_vectors = np.abs(rng.normal(size=(10, DIM))).astype(np.float32)
+        event_vectors = np.abs(rng.normal(size=(12, DIM))).astype(np.float32)
+
+        def replica() -> ShardedServingEngine:
+            return ShardedServingEngine(
+                user_vectors,
+                event_vectors,
+                np.arange(12, dtype=np.int64),
+                n_shards=2,
+                cache_size=0,
+            )
+
+        with DoubleBufferedEngine(replica(), replica()) as front:
+            front.warm()
+            assert front.ladder is None
+            v0, n0 = front.version, front.n_events
+            front.refresh(
+                np.arange(n0, n0 + 2, dtype=np.int64), fold_vectors(rng, 2)
+            )
+            assert (front.version, front.n_events) == (v0 + 1, n0 + 2)
+            assert front.query(3, n=4).pair_indices.size == 4
+
+
+class ExplodingFolder:
+    """A folder that always fails — exercises the explicit-drop path."""
+
+    def fold_in_many(self, events, config=None):
+        raise RuntimeError("boom")
+
+
+class FlakyFolder:
+    """Fails the first ``failures`` folds, then delegates."""
+
+    def __init__(self, inner, failures):
+        self.inner = inner
+        self.failures = failures
+
+    def fold_in_many(self, events, config=None):
+        if self.failures > 0:
+            self.failures -= 1
+            raise RuntimeError("transient")
+        return self.inner.fold_in_many(events, config)
+
+
+class TestFoldInPump:
+    def test_knob_validation(self):
+        front = make_front(events=8)
+        folder = make_folder()
+        with pytest.raises(ValueError):
+            FoldInPump(front, folder, max_batch=0)
+        with pytest.raises(ValueError):
+            FoldInPump(front, folder, max_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            FoldInPump(front, folder, max_retries=0)
+        with pytest.raises(ValueError):
+            FoldInPump(front, folder).replay([], speed=0.0)
+
+    def test_ledger_balances_and_staleness_recorded(self):
+        front = make_front(events=16)
+        base = front.n_events
+        pump = FoldInPump(
+            front,
+            make_folder(),
+            config=FoldInConfig(n_steps=5, seed=2),
+            max_batch=4,
+            max_delay_s=0.01,
+        )
+        arrivals = make_arrivals(10)
+        with pump:
+            pump.replay(arrivals, speed=50.0)
+            assert pump.drain(timeout_s=30.0)
+        counters = pump.counters()
+        assert counters["offered"] == 10
+        assert counters["visible"] == 10
+        assert counters["dropped"] == 0
+        assert counters["pending"] == 0
+        assert front.n_events == base + 10
+        records = pump.staleness_records()
+        assert sum(r.n_events for r in records) == 10
+        versions = [r.version for r in records]
+        assert versions == sorted(versions)
+        assert all(r.lag_max_s >= r.lag_p50_s >= 0.0 for r in records)
+        lag = pump.lag_percentiles()
+        assert set(lag) == {"p50", "p95", "p99"}
+        summary = pump.summary()
+        assert summary["swaps"] == front.swap_count == counters["batches"]
+        assert summary["versions"][-1]["version"] == front.version
+
+    def test_persistent_failure_is_an_explicit_drop(self):
+        front = make_front(events=8)
+        base = front.n_events
+        pump = FoldInPump(
+            front,
+            ExplodingFolder(),
+            max_batch=4,
+            max_delay_s=0.0,
+            max_retries=3,
+            retry_backoff_s=0.0,
+        )
+        # Offer before starting so both land in one deterministic batch.
+        for arrival in make_arrivals(2):
+            pump.offer(arrival.event)
+        with pump:
+            assert pump.drain(timeout_s=30.0)
+        counters = pump.counters()
+        assert counters["dropped"] == 2
+        assert counters["visible"] == 0
+        assert counters["pending"] == 0
+        assert counters["errors"] == 3
+        assert front.n_events == base
+        assert "boom" in pump.summary()["last_error"]
+
+    def test_transient_failure_retries_to_visible(self):
+        front = make_front(events=8)
+        pump = FoldInPump(
+            front,
+            FlakyFolder(make_folder(), failures=2),
+            config=FoldInConfig(n_steps=5, seed=2),
+            max_batch=8,
+            max_delay_s=0.0,
+            retry_backoff_s=0.0,
+        )
+        events = [a.event for a in make_arrivals(3)]
+        with pump:
+            for event in events:
+                pump.offer(event)
+            assert pump.drain(timeout_s=30.0)
+        counters = pump.counters()
+        assert counters["visible"] == 3
+        assert counters["dropped"] == 0
+        assert counters["errors"] == 2
