@@ -95,6 +95,7 @@ from repro.obs import (
     tracer_families,
 )
 from repro.serving import (
+    RUNGS,
     AdmissionController,
     DoubleBufferedEngine,
     FoldInPump,
@@ -664,7 +665,9 @@ def summarise(
             / max(len(answered), 1)
         ),
         "latency_s": overall,
-        "per_rung": metrics.rung_summary(),
+        # include= pins every declared rung (ivf included) into the
+        # payload so dashboards see zero-count rungs rather than holes.
+        "per_rung": metrics.rung_summary(include=RUNGS),
         "rung_counts": {
             rung: sum(1 for o in answered if o.rung == rung)
             for rung in sorted({o.rung for o in answered if o.rung})

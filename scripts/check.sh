@@ -46,7 +46,14 @@
 #                BENCH_streaming_smoke.json; the committed
 #                BENCH_streaming_load.json is the reference run and is
 #                never overwritten here; see docs/OPERATIONS.md §10)
-#  11. docs links — scripts/check_docs.py: every markdown
+#  11. frontier smoke — the recall/latency frontier harness on the tiny
+#                preset, asserting the IVF rung's default operating
+#                point: recall@10 >= 0.95 against the bruteforce oracle
+#                while examining strictly fewer pairs (writes
+#                BENCH_frontier_smoke.json; the committed
+#                BENCH_frontier.json is the offline beijing-small +
+#                beijing-xl run and is never overwritten here)
+#  12. docs links — scripts/check_docs.py: every markdown
 #                cross-reference and anchor in README/DESIGN/
 #                EXPERIMENTS/docs resolves, and every `file:line`
 #                pointer in docs/ARCHITECTURE.md is in range
@@ -118,8 +125,14 @@ PYTHONPATH=src:.${PYTHONPATH:+:$PYTHONPATH} python benchmarks/load_harness.py \
     --faults "backend.query:delay=0.02;foldin.apply:error=0.5;seed=13" \
     --trace --assert-complete-traces \
     --assert-p99-within-budget --assert-no-silent-drops \
-    --assert-staleness-bounded --staleness-budget-s 3.0 \
+    --assert-staleness-bounded --staleness-budget-s 2.5 \
     --out BENCH_streaming_smoke.json
+
+echo "== retrieval frontier smoke =="
+PYTHONPATH=src:.${PYTHONPATH:+:$PYTHONPATH} python benchmarks/frontier_harness.py \
+    --presets tiny --queries 16 --ta-queries 4 \
+    --assert-default-operating-point --min-recall 0.95 \
+    --output BENCH_frontier_smoke.json
 
 echo "== docs cross-references =="
 python scripts/check_docs.py

@@ -7,7 +7,9 @@ then checks the whole obs pipeline in one pass:
 1. **Trace completeness** — every request root in the flight recorder's
    offer stream is closed, correctly parented, and names the rung (or
    shed reason) that consumed its budget; answered fan-out trees carry
-   one child span per shard.
+   one child span per shard, unless the root is tagged as an exact
+   merged-answer-cache hit (a repeat user legitimately answered with
+   zero fan-out).
 2. **Exporter** — a background :class:`~repro.obs.MetricsExporter` is
    started, scraped over real HTTP, and the response is validated with
    the strict Prometheus text-format parser (``parse_exposition``),
@@ -103,10 +105,20 @@ def main() -> int:
                         for c in tree.get("children", [])
                         if c.get("name") == "shard"
                     )
-                    if shards != list(range(N_SHARDS)):
+                    if tags.get("cache_hit") is True and shards == []:
+                        # A repeat user served from the version-keyed
+                        # merged-answer cache: exact by construction,
+                        # legitimately answered with zero fan-out.
+                        if tags.get("exact") is not True:
+                            failures.append(
+                                f"trace {tree.get('trace_id')} merged-cache "
+                                "hit not tagged exact"
+                            )
+                    elif shards != list(range(N_SHARDS)):
                         failures.append(
                             f"trace {tree.get('trace_id')} answered from "
-                            f"shards {shards}, expected full fan-out"
+                            f"shards {shards}, expected full fan-out "
+                            "(and not a merged-cache hit)"
                         )
 
             # -- 2. exporter over real HTTP --------------------------

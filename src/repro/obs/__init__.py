@@ -25,6 +25,7 @@ from repro.obs.exporter import (
     engine_families,
     flight_families,
     foldin_families,
+    ivf_families,
     parse_exposition,
     profile_families,
     registry_families,
@@ -56,6 +57,7 @@ __all__ = [
     "engine_families",
     "flight_families",
     "foldin_families",
+    "ivf_families",
     "parse_exposition",
     "profile_families",
     "registry_families",

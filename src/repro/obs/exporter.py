@@ -50,6 +50,7 @@ __all__ = [
     "ScrapeResult",
     "engine_families",
     "flight_families",
+    "ivf_families",
     "parse_exposition",
     "profile_families",
     "registry_families",
@@ -434,6 +435,59 @@ def flight_families(
         "Span trees currently resident in the flight-recorder ring",
     ).add(recorder.counts()["resident"])
     return [fam, resident]
+
+
+def ivf_families(
+    index: object, *, prefix: str = "repro"
+) -> list[MetricFamily]:
+    """Cluster-geometry gauges for a clustered-IVF index.
+
+    ``index`` is duck-typed on the :class:`repro.online.ivf.IVFIndex`
+    surface (``n_clusters`` / ``nprobe`` / ``cluster_sizes()`` /
+    ``n_candidates`` / ``memory_bytes()`` — this module never imports
+    ``repro.online`` at runtime).  These are the families the nprobe
+    tuning loop in docs/OPERATIONS.md reads: the configured probe width,
+    the expected examined fraction it implies on a balanced clustering,
+    and the imbalance ratio (max/mean cluster size) that says how far
+    from balanced the k-means partition actually is.
+    """
+    n_clusters = int(index.n_clusters)  # type: ignore[attr-defined]
+    nprobe = int(index.nprobe)  # type: ignore[attr-defined]
+    sizes = index.cluster_sizes()  # type: ignore[attr-defined]
+    n_pairs = int(index.n_candidates)  # type: ignore[attr-defined]
+    families = [
+        MetricFamily(
+            f"{prefix}_ivf_clusters", "gauge",
+            "Coarse k-means cells in the clustered-IVF rung",
+        ).add(n_clusters),
+        MetricFamily(
+            f"{prefix}_ivf_nprobe_default", "gauge",
+            "Cells scanned per query unless the caller overrides nprobe",
+        ).add(nprobe),
+        MetricFamily(
+            f"{prefix}_ivf_pairs_indexed", "gauge",
+            "Pairs resident in the cluster-major blocks",
+        ).add(n_pairs),
+        MetricFamily(
+            f"{prefix}_ivf_index_bytes", "gauge",
+            "Resident bytes of the IVF sibling (blocks + centroids)",
+        ).add(int(index.memory_bytes())),  # type: ignore[attr-defined]
+    ]
+    balance = MetricFamily(
+        f"{prefix}_ivf_cluster_size", "gauge",
+        "Cluster-size distribution of the coarse partition (imbalance "
+        "ratio = max/mean; 1.0 is perfectly balanced)",
+    )
+    n_nonzero = int((sizes > 0).sum()) if len(sizes) else 0
+    balance.add(float(sizes.max()) if len(sizes) else 0.0, stat="max")
+    mean = n_pairs / n_clusters if n_clusters else 0.0
+    balance.add(mean, stat="mean")
+    balance.add(
+        (float(sizes.max()) / mean) if mean > 0 else 0.0, stat="imbalance"
+    )
+    balance.add(n_nonzero, stat="nonempty")
+    families.append(balance)
+    return families
 
 
 def foldin_families(

@@ -1,0 +1,472 @@
+"""Clustered inverted-file (IVF) retrieval over the transformed pair space.
+
+Every existing retrieval path — brute force, TA, the pruned siblings,
+the truncated rung — is exact-or-prefix over the dense 2K+1 space, so
+per-query cost grows linearly with the candidate count; on dense
+synthetic embeddings TA examines ~100% of pairs at 1M+ scale (ROADMAP
+item 4).  This module adds the first *sublinear* backend: a coarse
+k-means quantizer partitions the pair-space points into clusters at
+build time, each cluster's points are stored as one contiguous block,
+and a query scans only the ``nprobe`` blocks whose centroids score
+highest against the extended query vector :math:`\\vec q_u = (\\vec u,
+\\vec u, 1)`.  Cost is governed by a **recall knob** (``nprobe``)
+instead of the candidate count.
+
+Three properties the serving stack relies on (property-tested in
+``tests/test_ivf.py``):
+
+* **Bruteforce equivalence at full probe** — with ``nprobe ==
+  n_clusters`` every block is scanned, and the query short-circuits to
+  one matmul over the points *in original order*, so the answer is
+  bit-identical to :class:`~repro.online.bruteforce.BruteForceIndex`
+  (same canonical tie-breaking: descending score, then ascending pair
+  index).
+* **Recall monotone in nprobe** — probe lists are ranked by
+  ``(-centroid_score, cluster_id)``, so the scanned set at ``nprobe =
+  p+1`` is a superset of the set at ``p``; any true top-n member found
+  at ``p`` is still in the reported top-n at ``p+1`` (it outranks all
+  but at most ``n-1`` points *globally*, hence in any subset).
+* **``extend() ≡ build()``** — k-means trains on a bounded prefix of
+  the points (``train_cap`` rows), so folding appended rows into the
+  existing blocks reproduces a fresh build over the concatenated space
+  bit-for-bit whenever the training prefix is unchanged (``n_old >=
+  train_cap``, the steady state of the streaming fold-in pump).  Within
+  a cluster, members stay ordered by ascending original pair index —
+  appended rows have larger indices than every existing row, so they
+  splice onto each block's tail.
+
+**Thread-safety:** matches the other index classes — ``build``-time
+state is immutable after construction, queries are read-only and may
+run concurrently; ``extend`` is single-writer (the engine's build lock
+serialises it against itself; it is not linearisable with queries).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.contracts import check_shapes
+from repro.online.ta import RetrievalResult
+from repro.online.transform import PairSpace, query_vector
+
+__all__ = [
+    "DEFAULT_KMEANS_ITERS",
+    "DEFAULT_NPROBE_FRACTION",
+    "DEFAULT_TRAIN_CAP",
+    "IVFIndex",
+    "default_n_clusters",
+    "default_nprobe",
+]
+
+#: Rows of the pair space used to train the coarse quantizer.  Bounding
+#: the training set keeps build cost O(train_cap · n_clusters) instead
+#: of O(n_pairs · n_clusters), and is what makes ``extend`` provably
+#: identical to a fresh build once the space has outgrown the cap.
+DEFAULT_TRAIN_CAP = 65_536
+
+#: Lloyd iterations for the coarse quantizer.  The quantizer only needs
+#: to be a reasonable partition, not converged: recall is controlled by
+#: ``nprobe``, and correctness never depends on cluster quality.
+DEFAULT_KMEANS_ITERS = 8
+
+#: Default ``nprobe`` as a fraction of ``n_clusters`` (rounded up).
+#: The frontier smoke pins the operating point this default must hold:
+#: recall@10 >= 0.95 while examining strictly fewer pairs than a full
+#: scan (see benchmarks/frontier_harness.py).
+DEFAULT_NPROBE_FRACTION = 0.25
+
+#: Ceiling on the automatic cluster count (``sqrt(n_pairs)`` rule).
+_MAX_AUTO_CLUSTERS = 4096
+
+#: Chunk rows for the (points x centroids) assignment product, bounding
+#: the transient distance matrix to chunk * n_clusters float64.
+_ASSIGN_CHUNK = 8192
+
+
+def default_n_clusters(n_pairs: int) -> int:
+    """The automatic cluster count: ``sqrt(n_pairs)``, clamped.
+
+    The classic IVF balance point — about ``sqrt(n)`` points per block,
+    so centroid ranking and block scanning cost the same order — capped
+    so build-time assignment stays tractable at the 1M-user scale.
+    """
+    return int(min(max(1, round(math.sqrt(max(n_pairs, 1)))), _MAX_AUTO_CLUSTERS))
+
+
+def default_nprobe(n_clusters: int) -> int:
+    """The default probe width for ``n_clusters`` (see the fraction doc)."""
+    return int(min(max(1, math.ceil(DEFAULT_NPROBE_FRACTION * n_clusters)), n_clusters))
+
+
+def _assign_chunked(
+    points: np.ndarray, centroids: np.ndarray, chunk: int = _ASSIGN_CHUNK
+) -> np.ndarray:
+    """Nearest-centroid labels for every row of ``points`` (squared L2).
+
+    ``argmin(|c|^2 - 2 p·c)`` per row — the ``|p|^2`` term is constant
+    within a row and dropped.  Ties go to the lowest cluster id
+    (``argmin`` semantics), which keeps assignment deterministic.
+    Chunked so the transient distance matrix never exceeds
+    ``chunk * n_clusters`` float64 entries at million-pair scale.
+    """
+    n = points.shape[0]
+    labels = np.empty(n, dtype=np.int64)
+    half_sq = 0.5 * np.einsum("kd,kd->k", centroids, centroids)
+    # replint: allow-loop(fixed-size assignment chunks, O(n / chunk) numpy passes)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        block = np.asarray(points[start:stop], dtype=np.float64)
+        labels[start:stop] = np.argmin(half_sq - block @ centroids.T, axis=1)
+    return labels
+
+
+def _train_kmeans(
+    train: np.ndarray, n_clusters: int, n_iters: int, seed: int
+) -> np.ndarray:
+    """Deterministic Lloyd iterations over the training prefix.
+
+    Seeded initialisation (distinct training rows chosen by a
+    ``default_rng(seed)`` draw), then ``n_iters`` assign/update rounds.
+    A cluster that loses all members keeps its previous centroid, so
+    the result is a total function of ``(train, n_clusters, n_iters,
+    seed)`` — the determinism ``extend() ≡ build()`` needs.
+    """
+    rng = np.random.default_rng(seed)
+    pick = np.sort(rng.choice(train.shape[0], size=n_clusters, replace=False))
+    centroids = np.asarray(train[pick], dtype=np.float64).copy()
+    # replint: allow-loop(bounded Lloyd iterations, n_iters not candidates)
+    for _ in range(n_iters):
+        labels = _assign_chunked(train, centroids)
+        counts = np.bincount(labels, minlength=n_clusters)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, labels, train)
+        occupied = counts > 0
+        centroids[occupied] = sums[occupied] / counts[occupied, None]
+    return centroids
+
+
+def _concat_ranges(starts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(s, s + l) for s, l in zip(starts, sizes)])``.
+
+    Fully vectorised (no per-range Python loop): the gather pattern the
+    query path uses to enumerate the block rows of the probed clusters.
+    """
+    total = int(sizes.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    return (
+        np.repeat(starts - offsets, sizes)
+        + np.arange(total, dtype=np.int64)
+    ).astype(np.int64)
+
+
+class IVFIndex:
+    """Coarse-quantized inverted-file index over a pair space.
+
+    Parameters
+    ----------
+    space:
+        The transformed candidate pairs (:class:`PairSpace`).
+    n_clusters:
+        Coarse-quantizer cells (default :func:`default_n_clusters`,
+        clamped to ``n_pairs``).
+    nprobe:
+        Default clusters scanned per query (default
+        :func:`default_nprobe`); per-query override on
+        :meth:`query_extended`.
+    train_cap, n_iters, seed:
+        K-means training knobs — see the module constants.  ``seed``
+        fixes initialisation, so two builds over the same prefix are
+        bit-identical.
+    """
+
+    def __init__(
+        self,
+        space: PairSpace,
+        *,
+        n_clusters: int | None = None,
+        nprobe: int | None = None,
+        train_cap: int = DEFAULT_TRAIN_CAP,
+        n_iters: int = DEFAULT_KMEANS_ITERS,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters is not None and n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if train_cap < 1:
+            raise ValueError(f"train_cap must be >= 1, got {train_cap}")
+        if n_iters < 0:
+            raise ValueError(f"n_iters must be >= 0, got {n_iters}")
+        self.space = space
+        self.train_cap = int(train_cap)
+        self.n_iters = int(n_iters)
+        self.seed = int(seed)
+        n = space.n_pairs
+        requested = (
+            default_n_clusters(n) if n_clusters is None else int(n_clusters)
+        )
+        self.n_clusters = max(1, min(requested, max(n, 1)))
+        self.nprobe = (
+            default_nprobe(self.n_clusters)
+            if nprobe is None
+            else int(nprobe)
+        )
+        if not 1 <= self.nprobe <= self.n_clusters:
+            raise ValueError(
+                f"nprobe must be in [1, {self.n_clusters}], got {self.nprobe}"
+            )
+        if n == 0:
+            self.centroids = np.zeros((self.n_clusters, space.dim))
+            self._labels = np.empty(0, dtype=np.int64)
+            self._order = np.empty(0, dtype=np.int64)
+            self._block_points = np.empty((0, space.dim))
+            self._block_partners = np.empty(0, dtype=np.int64)
+            self._offsets = np.zeros(self.n_clusters + 1, dtype=np.int64)
+            return
+        train = np.asarray(
+            space.points[: min(n, self.train_cap)], dtype=np.float64
+        )
+        self.centroids = _train_kmeans(
+            train, self.n_clusters, self.n_iters, self.seed
+        )
+        self._labels = _assign_chunked(space.points, self.centroids)
+        self._rebuild_blocks()
+
+    def _rebuild_blocks(self) -> None:
+        """Regroup the points cluster-major from ``self._labels``.
+
+        Stable sort keeps members of one cluster in ascending original
+        pair index — the within-block order both the canonical
+        tie-breaking and the ``extend`` splice rely on.
+        """
+        space = self.space
+        order = np.argsort(self._labels, kind="stable").astype(np.int64)
+        self._order = order
+        self._block_points = np.asarray(
+            space.points[order], dtype=np.float64
+        )
+        self._block_partners = np.asarray(
+            space.partner_ids[order], dtype=np.int64
+        )
+        self._offsets = np.searchsorted(
+            self._labels[order], np.arange(self.n_clusters + 1)
+        ).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_candidates(self) -> int:
+        """Number of indexed candidate pairs."""
+        return self.space.n_pairs
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Members per cluster, ``(n_clusters,)`` (diagnostics/metrics)."""
+        return np.diff(self._offsets)
+
+    def memory_bytes(self) -> int:
+        """Resident bytes: candidate arrays plus the inverted structure."""
+        space = self.space
+        return int(
+            space.points.nbytes
+            + space.partner_ids.nbytes
+            + space.event_ids.nbytes
+            + self.centroids.nbytes
+            + self._labels.nbytes
+            + self._order.nbytes
+            + self._block_points.nbytes
+            + self._block_partners.nbytes
+            + self._offsets.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    def extend(self, space: PairSpace, n_old: int) -> None:
+        """Incrementally absorb rows ``[n_old:]`` of ``space``.
+
+        ``space`` must contain this index's current candidates,
+        unchanged and in order, as its first ``n_old`` rows (the same
+        contract as the TA/bruteforce ``extend``).  New rows are
+        assigned to the *frozen* centroids and spliced onto the tail of
+        their cluster blocks — O(n + m) array moves plus the O(m ·
+        n_clusters) assignment, never a re-cluster of the old rows.
+        Identical to a fresh :class:`IVFIndex` over ``space`` whenever
+        the k-means training prefix is unchanged (``min(space.n_pairs,
+        train_cap) <= n_old`` and the same ``n_clusters`` request
+        applies — the streaming steady state).
+        """
+        if n_old != self.space.n_pairs:
+            raise ValueError(
+                f"extend expects the first {self.space.n_pairs} rows to be "
+                f"the current candidates, got n_old={n_old}"
+            )
+        m = space.n_pairs - n_old
+        if m < 0:
+            raise ValueError("extended space is smaller than the current one")
+        if m == 0:
+            self.space = space
+            return
+        new_labels = _assign_chunked(space.points[n_old:], self.centroids)
+        # Stable order of the fresh rows by (cluster, original index):
+        # within equal labels argsort keeps input order, and every fresh
+        # index exceeds every existing one, so appending each cluster's
+        # fresh run after its existing block reproduces a fresh build.
+        new_order = np.argsort(new_labels, kind="stable").astype(np.int64)
+        sorted_new = new_labels[new_order]
+        k = self.n_clusters
+        sizes_old = np.diff(self._offsets)
+        counts_new = np.bincount(new_labels, minlength=k)
+        offsets_new = np.concatenate(
+            ([0], np.cumsum(sizes_old + counts_new))
+        ).astype(np.int64)
+        # Old block rows shift by the fresh rows inserted before their
+        # cluster; fresh rows land after their cluster's old members.
+        shift_old = np.repeat(offsets_new[:-1] - self._offsets[:-1], sizes_old)
+        dest_old = np.arange(n_old, dtype=np.int64) + shift_old
+        run_start = np.searchsorted(sorted_new, np.arange(k)).astype(np.int64)
+        within = np.arange(m, dtype=np.int64) - run_start[sorted_new]
+        dest_new = offsets_new[sorted_new] + sizes_old[sorted_new] + within
+
+        block_points = np.empty((n_old + m, space.dim))
+        block_points[dest_old] = self._block_points
+        block_points[dest_new] = np.asarray(
+            space.points[n_old + new_order], dtype=np.float64
+        )
+        block_partners = np.empty(n_old + m, dtype=np.int64)
+        block_partners[dest_old] = self._block_partners
+        block_partners[dest_new] = np.asarray(
+            space.partner_ids[n_old + new_order], dtype=np.int64
+        )
+        order = np.empty(n_old + m, dtype=np.int64)
+        order[dest_old] = self._order
+        order[dest_new] = n_old + new_order
+
+        self.space = space
+        self._labels = np.concatenate([self._labels, new_labels])
+        self._order = order
+        self._block_points = block_points
+        self._block_partners = block_partners
+        self._offsets = offsets_new
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        user_vector: np.ndarray,
+        n: int,
+        *,
+        exclude_partner: int | None = None,
+        nprobe: int | None = None,
+    ) -> RetrievalResult:
+        """Top-n over the probed clusters (wrapper building
+        :math:`\\vec q_u` from the raw user vector)."""
+        return self.query_extended(
+            query_vector(user_vector),
+            n,
+            exclude_partner=exclude_partner,
+            nprobe=nprobe,
+        )
+
+    @check_shapes("(M,)")
+    def query_extended(
+        self,
+        q: np.ndarray,
+        n: int,
+        *,
+        exclude_partner: int | None = None,
+        nprobe: int | None = None,
+    ) -> RetrievalResult:
+        """Top-n for an already-extended query over ``nprobe`` clusters.
+
+        Clusters are ranked by ``(-centroid_score, cluster_id)`` — a
+        total order, so probe sets are nested in ``nprobe`` and recall
+        is monotone.  The reported top-n follows the canonical order
+        (descending score, then ascending *original* pair index), so
+        results merge exactly with every other backend and across
+        shards.  ``exact`` is ``True`` only when the probed blocks
+        covered the whole space (always at ``nprobe == n_clusters``);
+        ``n_clusters_probed``/``n_examined`` feed the telemetry stack.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        space = self.space
+        q = np.asarray(q, dtype=np.float64)
+        if q.shape != (space.dim,):
+            raise ValueError(
+                f"query dim {q.shape} != candidate dim ({space.dim},)"
+            )
+        p = self.nprobe if nprobe is None else int(nprobe)
+        if not 1 <= p <= self.n_clusters:
+            raise ValueError(
+                f"nprobe must be in [1, {self.n_clusters}], got {p}"
+            )
+        if space.n_pairs == 0:
+            return RetrievalResult(
+                pair_indices=np.empty(0, dtype=np.int64),
+                scores=np.empty(0, dtype=np.float64),
+                n_examined=0,
+                n_sorted_accesses=0,
+                fraction_examined=0.0,
+                n_clusters_probed=0,
+            )
+        if p >= self.n_clusters:
+            # Full probe short-circuit: score the points in their
+            # *original* order with one matmul — bit-identical to the
+            # brute-force oracle by construction, not merely by value.
+            scores = space.points @ q
+            pair_idx = np.arange(space.n_pairs, dtype=np.int64)
+            partner_ids = space.partner_ids
+            n_probed = self.n_clusters
+        else:
+            cscores = self.centroids @ q
+            cluster_rank = np.lexsort(
+                (np.arange(self.n_clusters), -cscores)
+            )
+            probe = cluster_rank[:p]
+            rows = _concat_ranges(
+                self._offsets[probe], np.diff(self._offsets)[probe]
+            )
+            scores = self._block_points[rows] @ q
+            pair_idx = self._order[rows]
+            partner_ids = self._block_partners[rows]
+            n_probed = p
+        return self._top_n(
+            scores, pair_idx, partner_ids, n, exclude_partner, n_probed
+        )
+
+    def _top_n(
+        self,
+        scores: np.ndarray,
+        pair_idx: np.ndarray,
+        partner_ids: np.ndarray,
+        n: int,
+        exclude_partner: int | None,
+        n_probed: int,
+    ) -> RetrievalResult:
+        """Canonical top-n over the scanned subset.
+
+        Same selection as the brute-force oracle — argpartition, widen
+        boundary-score ties, then lexsort on ``(-score, pair_index)`` —
+        except indices route through ``pair_idx`` so ties break on the
+        *original* pair index even when the scanned rows are a
+        reordered subset.
+        """
+        total = int(scores.shape[0])
+        space = self.space
+        if exclude_partner is not None:
+            scores = np.where(partner_ids == exclude_partner, -np.inf, scores)
+        k = min(n, total)
+        top = np.argpartition(-scores, k - 1)[:k]
+        if k < total:
+            boundary = scores[top].min()
+            if np.isfinite(boundary):
+                top = np.flatnonzero(scores >= boundary)
+        order = top[np.lexsort((pair_idx[top], -scores[top]))][:k]
+        order = order[np.isfinite(scores[order])]
+        return RetrievalResult(
+            pair_indices=pair_idx[order].astype(np.int64),
+            scores=scores[order].astype(np.float64),
+            n_examined=total,
+            n_sorted_accesses=0,
+            fraction_examined=total / space.n_pairs,
+            exact=total == space.n_pairs,
+            n_clusters_probed=n_probed,
+        )

@@ -51,6 +51,7 @@ class RetrievalResult:
     n_sorted_accesses: int  # total sorted-access steps
     fraction_examined: float  # n_examined / n_candidates
     exact: bool = True  # stop condition reached (vs budget early exit)
+    n_clusters_probed: int = 0  # IVF coarse cells scanned (0 = non-IVF)
 
     def pairs(self, space: PairSpace) -> list[tuple[int, int, float]]:
         """Decode to ``(event_id, partner_id, score)`` triples."""

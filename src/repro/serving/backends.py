@@ -38,6 +38,7 @@ from typing import Callable, Protocol, runtime_checkable
 import numpy as np
 
 from repro.online.bruteforce import BruteForceIndex
+from repro.online.ivf import IVFIndex
 from repro.online.ta import RetrievalResult, ThresholdAlgorithmIndex
 from repro.online.transform import PairSpace
 
@@ -218,6 +219,80 @@ class ThresholdAlgorithmBackend(_IndexBackend):
             chunk=self.chunk,
             budget_s=budget_s,
         )
+
+
+@register_backend("ivf")
+class IVFBackend:
+    """Clustered inverted-file retrieval (sublinear, recall-bounded).
+
+    The first registered backend whose answers are *approximate by
+    configuration*: queries scan only the ``nprobe`` nearest coarse
+    clusters, so ``RetrievalResult.exact`` is ``False`` unless the probe
+    covered the whole space (``nprobe == n_clusters`` reproduces brute
+    force bit-for-bit — see :mod:`repro.online.ivf`).  ``build`` /
+    ``extend`` follow the single-writer contract; queries are read-only
+    and thread-safe.  Construction knobs (cluster count, probe width,
+    k-means seed) are fixed per instance; the engine surfaces them as
+    ``ivf_clusters`` / ``ivf_nprobe``.
+    """
+
+    prunes_by_default = False
+    supports_budget = False
+    _not_built = "backend not built; call build(space) first"
+
+    def __init__(
+        self,
+        n_clusters: int | None = None,
+        nprobe: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.index: IVFIndex | None = None
+        self.n_clusters = n_clusters
+        self.nprobe = nprobe
+        self.seed = seed
+
+    @property
+    def space(self) -> PairSpace:
+        """The indexed pair space (raises if not built)."""
+        if self.index is None:
+            raise RuntimeError(self._not_built)
+        return self.index.space
+
+    @property
+    def n_candidates(self) -> int:
+        """Number of indexed candidate pairs (0 before build)."""
+        return 0 if self.index is None else self.index.n_candidates
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of the built index (0 before build)."""
+        return 0 if self.index is None else self.index.memory_bytes()
+
+    def build(self, space: PairSpace) -> None:
+        """Train the coarse quantizer and lay out the cluster blocks."""
+        self.index = IVFIndex(
+            space,
+            n_clusters=self.n_clusters,
+            nprobe=self.nprobe,
+            seed=self.seed,
+        )
+
+    def extend(self, space: PairSpace, n_old: int) -> None:
+        """Splice the appended rows into their cluster blocks.
+
+        Single-writer, like every backend ``extend`` (the engine holds
+        its build lock around this).
+        """
+        if self.index is None:
+            raise RuntimeError(self._not_built)
+        self.index.extend(space, n_old)
+
+    def query(
+        self, q: np.ndarray, n: int, exclude: int | None = None
+    ) -> RetrievalResult:
+        """Top-n over the default probe width (read-only, thread-safe)."""
+        if self.index is None:
+            raise RuntimeError(self._not_built)
+        return self.index.query_extended(q, n, exclude_partner=exclude)
 
 
 @register_backend("bruteforce-pruned")

@@ -24,7 +24,7 @@ facade over this class) the engine adds:
 * **deadline-aware serving** — :meth:`recommend_within` serves one
   request under a :class:`~repro.serving.lifecycle.RequestContext`
   budget, stepping down the degradation ladder (``full -> pruned ->
-  truncated -> stale_cache``) as the budget shrinks, and
+  ivf -> truncated -> stale_cache``) as the budget shrinks, and
   :meth:`recommend_many` drives the engine from a thread pool behind a
   bounded admission queue with explicit load shedding.
 
@@ -53,6 +53,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER, Span, Tracer, stamp_outcome
+from repro.online.ivf import IVFIndex
 from repro.online.pruning import build_pruned_pair_space
 from repro.sanitizer import tsan_lock
 from repro.online.ta import RetrievalResult, ThresholdAlgorithmIndex
@@ -82,7 +83,17 @@ from repro.utils.profiling import NULL_PROFILER, Profiler
 #: Canonical build-phase names recorded by the engine's profiler (the
 #: same :class:`~repro.utils.profiling.Profiler` API the offline trainer
 #: uses, so one report format covers training and serving builds).
-BUILD_PHASES = ("build.transform", "build.index", "build.pruned_sibling")
+BUILD_PHASES = (
+    "build.transform",
+    "build.index",
+    "build.pruned_sibling",
+    "build.ivf_sibling",
+)
+
+#: Geometric growth factor for the pair-space append buffers: a refresh
+#: that outgrows the reserved capacity reallocates to ``factor * need``,
+#: so n fold-ins cost O(n) amortised row copies instead of O(n^2).
+_PAIR_BUFFER_GROWTH = 2.0
 
 #: Default pruning level for ``*-pruned`` backends when the caller does
 #: not pick k: 5% of the candidate events, Fig 7's sweet spot (the
@@ -165,6 +176,15 @@ class ServingEngine:
     backend:
         Registered backend name (see
         :func:`repro.serving.backends.available_backends`).
+    ivf_clusters, ivf_nprobe:
+        Opt-in knobs for the ``ivf`` degradation rung: when
+        ``ivf_clusters`` is set, :meth:`warm_ladder` additionally builds
+        a clustered inverted-file sibling (:class:`~repro.online.ivf.
+        IVFIndex`) over the primary pair space, and deadline-scoped
+        requests may answer from it by scanning only the ``ivf_nprobe``
+        nearest clusters (default: 25% of the clusters).  ``None``
+        (the default) leaves the rung cold — the ladder behaves exactly
+        as before this rung existed.
     cache_size:
         Maximum entries in the LRU result cache (0 disables caching).
     metrics:
@@ -201,6 +221,8 @@ class ServingEngine:
         candidate_partners: np.ndarray | None = None,
         top_k_events: int | None = None,
         backend: str = "ta",
+        ivf_clusters: int | None = None,
+        ivf_nprobe: int | None = None,
         cache_size: int = 256,
         metrics: MetricsRegistry | None = None,
         stale_cache_size: int = 1024,
@@ -226,9 +248,17 @@ class ServingEngine:
             raise ValueError(
                 f"stale_cache_size must be >= 0, got {stale_cache_size}"
             )
+        if ivf_clusters is not None and ivf_clusters < 1:
+            raise ValueError(
+                f"ivf_clusters must be >= 1, got {ivf_clusters}"
+            )
+        if ivf_nprobe is not None and ivf_clusters is None:
+            raise ValueError("ivf_nprobe requires ivf_clusters")
         self.backend_name = backend
         self._backend: RetrievalBackend = create_backend(backend)
         self.top_k_events = top_k_events
+        self.ivf_clusters = ivf_clusters
+        self.ivf_nprobe = ivf_nprobe
         self.cache_size = cache_size
         self.stale_cache_size = stale_cache_size
         # `is not None` matters: an empty registry is falsy via __len__.
@@ -248,6 +278,15 @@ class ServingEngine:
             tuple[int, int], tuple[int, RetrievalResult, PairSpace]
         ] = OrderedDict()
         self._pruned_index: ThresholdAlgorithmIndex | None = None
+        self._ivf_index: IVFIndex | None = None
+        # Growable append buffers backing incremental refresh: each
+        # fold-in writes its new rows into reserved tail capacity and
+        # re-views the prefix, instead of concatenating (= copying) the
+        # whole pair space per refresh.  Only the build path touches
+        # them; served PairSpace views alias the immutable prefix.
+        self._buf_points: np.ndarray | None = None  # replint: guarded-by(_build_lock)
+        self._buf_partners: np.ndarray | None = None  # replint: guarded-by(_build_lock)
+        self._buf_events: np.ndarray | None = None  # replint: guarded-by(_build_lock)
         self._trunc_rows_per_s = _TRUNC_INITIAL_ROWS_PER_S  # replint: guarded-by(_cache_lock)
         self._build_lock = tsan_lock(threading.RLock(), "_build_lock")
         self._cache_lock = tsan_lock(threading.Lock(), "_cache_lock")
@@ -353,15 +392,20 @@ class ServingEngine:
         return self
 
     def warm_ladder(self) -> "ServingEngine":
-        """Build every degradation rung now (primary + pruned sibling).
+        """Build every degradation rung now (primary + sibling indices).
 
         The ``pruned`` rung serves from a per-partner top-k pruned
-        sibling TA index; it is only eligible once this has been built
-        (a cold rung is skipped downward rather than paying its build
-        inside someone's deadline).  When the primary index is itself
-        pruned the sibling is redundant and skipped.  Call this before
-        opening deadline-scoped traffic; dropped (and rebuilt on the
-        next call) by :meth:`rebuild` / :meth:`refresh`.
+        sibling TA index; the ``ivf`` rung (opt-in via ``ivf_clusters``)
+        from a clustered inverted-file sibling over the primary space.
+        A rung is only eligible once its sibling has been built (a cold
+        rung is skipped downward rather than paying its build inside
+        someone's deadline).  When the primary index is itself pruned
+        the pruned sibling is redundant and skipped.  Call this before
+        opening deadline-scoped traffic; the pruned sibling is dropped
+        (and rebuilt on the next call) by :meth:`rebuild` /
+        :meth:`refresh`, while the ivf sibling *survives* a refresh —
+        it absorbs the appended rows through its incremental ``extend``
+        path — and is only dropped by :meth:`rebuild`.
         """
         self.warm()
         with self._build_lock:
@@ -392,6 +436,15 @@ class ServingEngine:
                     self._pruned_index = ThresholdAlgorithmIndex(space)
                 self.build_stats.n_pairs_transformed += space.n_pairs
                 self.build_stats.seconds_building += t.seconds
+            if self._ivf_index is None and self.ivf_clusters is not None:
+                assert self._space is not None
+                with _Timer() as ti, self.profiler.phase("build.ivf_sibling"):
+                    self._ivf_index = IVFIndex(
+                        self._space,
+                        n_clusters=self.ivf_clusters,
+                        nprobe=self.ivf_nprobe,
+                    )
+                self.build_stats.seconds_building += ti.seconds
         return self
 
     def _build(self) -> None:
@@ -437,13 +490,18 @@ class ServingEngine:
         """Cold rebuild under a new version (reapplies pruning).
 
         Serialised on the build lock; not linearisable with in-flight
-        queries (see the class docstring).  Drops the pruned sibling —
-        re-warm with :meth:`warm_ladder`.
+        queries (see the class docstring).  Drops the pruned and ivf
+        siblings (and the append buffers) — re-warm with
+        :meth:`warm_ladder`.
         """
         with self._build_lock:
             self._version += 1
             self._clear_result_cache()
             self._pruned_index = None
+            self._ivf_index = None
+            self._buf_points = None
+            self._buf_partners = None
+            self._buf_events = None
             self._build()
 
     def refresh(
@@ -466,9 +524,15 @@ class ServingEngine:
         cold-start events are exactly what the online system must not
         prune away).  Bumps the served version, invalidates the result
         cache (the stale-answer cache intentionally survives) and drops
-        the pruned sibling rung until the next :meth:`warm_ladder`.
-        Serialised on the build lock; not linearisable with in-flight
-        queries — the zero-downtime spelling is
+        the pruned sibling rung until the next :meth:`warm_ladder`; a
+        warmed ivf sibling is *kept* — it absorbs the new pairs through
+        its own incremental ``extend``.  The new rows are appended into
+        geometrically over-allocated buffers, so a fold-in costs O(new
+        pairs) amortised instead of copying the whole space (the
+        shadow-rebuild cost that used to floor streaming staleness —
+        docs/OPERATIONS.md §10).  Serialised on the build lock; not
+        linearisable with in-flight queries — the zero-downtime
+        spelling is
         :meth:`repro.serving.streaming.DoubleBufferedEngine.refresh`.
         Returns the number of events actually added.
         """
@@ -554,19 +618,15 @@ class ServingEngine:
                     partner_ids=self.candidate_partners,
                 )
                 old = self._space
-                combined = PairSpace(
-                    points=np.concatenate([old.points, block.points]),
-                    partner_ids=np.concatenate(
-                        [old.partner_ids, block.partner_ids]
-                    ),
-                    event_ids=np.concatenate([old.event_ids, block.event_ids]),
-                    version=self._version,
-                )
+                combined = self._append_pairs(old, block)
             with self.profiler.phase("build.index"):
                 if hasattr(self._backend, "extend"):
                     self._backend.extend(combined, old.n_pairs)
                 else:
                     self._backend.build(combined)
+            if self._ivf_index is not None:
+                with self.profiler.phase("build.ivf_sibling"):
+                    self._ivf_index.extend(combined, old.n_pairs)
         self._space = combined
         self._built_monotonic = time.monotonic()
         self.candidate_events = np.concatenate(
@@ -576,6 +636,48 @@ class ServingEngine:
         self.build_stats.n_pairs_transformed += block.n_pairs
         self.build_stats.seconds_building += t.seconds
         return int(fresh.size)
+
+    def _append_pairs(self, old: PairSpace, block: PairSpace) -> PairSpace:
+        """Append ``block``'s rows after ``old``'s without copying ``old``.
+
+        The served :class:`PairSpace` is a prefix *view* of growable
+        buffers owned by the engine.  When the buffers have room the new
+        rows are written past the prefix and a longer view is returned —
+        O(new pairs), not O(all pairs).  When they do not (first fold-in
+        after a build/rebuild, or capacity exhausted), buffers of
+        ``max(need, growth * old)`` rows are allocated and the old prefix
+        is copied once; geometric growth makes the copy amortised O(1)
+        per appended row.  Safe with concurrent readers: rows in the old
+        prefix are never mutated after publication, so a reader holding
+        the previous (shorter) view observes frozen data while the writer
+        fills rows beyond that view's end.  Caller holds the build lock.
+        """
+        need = old.n_pairs + block.n_pairs
+        fits = (
+            self._buf_points is not None
+            and old.points.base is self._buf_points
+            and need <= self._buf_points.shape[0]
+        )
+        if not fits:
+            cap = max(need, int(_PAIR_BUFFER_GROWTH * old.n_pairs))
+            self._buf_points = np.empty((cap, old.dim), dtype=np.float64)
+            self._buf_partners = np.empty(cap, dtype=np.int64)
+            self._buf_events = np.empty(cap, dtype=np.int64)
+            self._buf_points[: old.n_pairs] = old.points
+            self._buf_partners[: old.n_pairs] = old.partner_ids
+            self._buf_events[: old.n_pairs] = old.event_ids
+        assert self._buf_points is not None
+        assert self._buf_partners is not None
+        assert self._buf_events is not None
+        self._buf_points[old.n_pairs : need] = block.points
+        self._buf_partners[old.n_pairs : need] = block.partner_ids
+        self._buf_events[old.n_pairs : need] = block.event_ids
+        return PairSpace(
+            points=self._buf_points[:need],
+            partner_ids=self._buf_partners[:need],
+            event_ids=self._buf_events[:need],
+            version=self._version,
+        )
 
     # ------------------------------------------------------------------
     # online: queries
@@ -684,6 +786,10 @@ class ServingEngine:
                 seconds_query_vector=t_q,
                 seconds_retrieval=t_r,
                 cache_hit=cached is not None,
+                n_clusters_probed=(
+                    0 if cached is not None else result.n_clusters_probed
+                ),
+                exact=result.exact,
             )
         )
         return result
@@ -798,6 +904,8 @@ class ServingEngine:
                     seconds_retrieval=0.0 if hit else per_r,
                     cache_hit=hit,
                     batched=True,
+                    n_clusters_probed=0 if hit else result.n_clusters_probed,
+                    exact=result.exact,
                 )
             )
         return [results[u] for u in users]
@@ -809,12 +917,15 @@ class ServingEngine:
 
         ``pruned`` requires its sibling index (see :meth:`warm_ladder`)
         and is redundant when the primary index is already pruned;
-        ``stale_cache`` requires a non-zero stale cache — without one,
-        expired deadlines shed instead of serving stale.
+        ``ivf`` requires its clustered sibling (``ivf_clusters`` set and
+        warmed); ``stale_cache`` requires a non-zero stale cache —
+        without one, expired deadlines shed instead of serving stale.
         """
         rungs = ["full"]
         if self._pruned_index is not None:
             rungs.append("pruned")
+        if self._ivf_index is not None:
+            rungs.append("ivf")
         rungs.append("truncated")
         rungs.append("stale_cache")
         return tuple(rungs)
@@ -849,6 +960,27 @@ class ServingEngine:
         return index.query_extended(
             q, n, exclude_partner=user, budget_s=max(remaining_s, 1e-4)
         )
+
+    def _run_ivf(
+        self,
+        q: np.ndarray,
+        user: int,
+        n: int,
+        remaining_s: float,
+        span: Span = NULL_SPAN,
+    ) -> RetrievalResult:
+        """Scan the ``nprobe`` nearest coarse clusters of the ivf sibling.
+
+        Cost is governed by the probe width (a recall knob), not the
+        candidate count — the sublinear rung between ``pruned`` and
+        ``truncated``.  The result carries ``n_clusters_probed`` for the
+        per-query telemetry.
+        """
+        fault_point("backend.ivf", span=span)
+        index = self._ivf_index
+        if index is None:
+            raise RuntimeError("ivf rung not warmed; call warm_ladder()")
+        return index.query_extended(q, n, exclude_partner=user)
 
     def _run_truncated(
         self,
@@ -1057,12 +1189,13 @@ class ServingEngine:
         runners = {
             "full": self._run_full,
             "pruned": self._run_pruned,
+            "ivf": self._run_ivf,
             "truncated": self._run_truncated,
         }
         q = query_vector(
             np.asarray(self.user_vectors[user], dtype=np.float64)
         )
-        # replint: allow-loop(<= 4 ladder rungs per request, not candidates)
+        # replint: allow-loop(<= 5 ladder rungs per request, not candidates)
         for rung in available[available.index(first):]:
             if rung == "stale_cache":
                 return self._serve_stale(user, n, ctx, span)
@@ -1101,6 +1234,7 @@ class ServingEngine:
                 seconds_total=ctx.elapsed(),
                 seconds_retrieval=t.seconds,
                 rung=rung,
+                n_clusters_probed=result.n_clusters_probed,
                 deadline_budget_s=ctx.budget_s,
                 deadline_remaining_s=ctx.remaining(),
                 deadline_met=not ctx.expired(),

@@ -15,15 +15,19 @@ emergent.  This module gives every query an explicit lifecycle:
    of the **degradation ladder** whose predicted latency fits the
    remaining budget::
 
-       full  ->  pruned  ->  truncated  ->  stale_cache
+       full  ->  pruned  ->  ivf  ->  truncated  ->  stale_cache
 
    ``full`` is the engine's configured backend at full fidelity (GEM-TA
    by default — the paper's exact method); ``pruned`` answers from a
    per-partner top-k pruned sibling index (Fig 7's operating point);
-   ``truncated`` brute-forces a budget-sized prefix of the candidate
-   matrix; ``stale_cache`` replays the last good answer for the user,
-   possibly from an older embedding version.  Which rung answered is
-   recorded in :class:`~repro.serving.telemetry.QueryStats`.
+   ``ivf`` scans only the ``nprobe`` nearest coarse clusters of a
+   clustered inverted-file sibling (:mod:`repro.online.ivf`) — the one
+   rung whose cost is governed by a recall knob instead of the
+   candidate count; ``truncated`` brute-forces a budget-sized prefix of
+   the candidate matrix; ``stale_cache`` replays the last good answer
+   for the user, possibly from an older embedding version.  Which rung
+   answered is recorded in
+   :class:`~repro.serving.telemetry.QueryStats`.
 3. **Step-down** — a rung that fails (e.g. an injected backend error,
    see :mod:`repro.serving.faults`) or overruns its slice falls through
    to the next rung down; ``stale_cache`` is terminal — a miss there is
@@ -65,8 +69,10 @@ __all__ = [
 ]
 
 #: The degradation ladder, best rung first.  ``full`` = the engine's
-#: configured backend (GEM-TA by default), the paper-exact answer.
-RUNGS: tuple[str, ...] = ("full", "pruned", "truncated", "stale_cache")
+#: configured backend (GEM-TA by default), the paper-exact answer;
+#: ``ivf`` = the clustered inverted-file sibling, approximate but
+#: recall-bounded via its ``nprobe`` knob (see :mod:`repro.online.ivf`).
+RUNGS: tuple[str, ...] = ("full", "pruned", "ivf", "truncated", "stale_cache")
 
 #: Shed reason: the bounded admission queue was at capacity.
 SHED_QUEUE_FULL = "queue_full"
@@ -189,7 +195,7 @@ class LadderPolicy:
         terminal ``stale_cache`` rung is always eligible — it is the
         deadline-miss fallback and costs a dictionary lookup.
         """
-        # replint: allow-loop(<= 4 ladder rungs, not candidates)
+        # replint: allow-loop(<= 5 ladder rungs, not candidates)
         for rung in available:
             if rung == "stale_cache":
                 break

@@ -67,6 +67,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -87,6 +88,25 @@ from repro.serving.lifecycle import (
 from repro.serving.telemetry import MetricsRegistry, QueryStats, _Timer
 
 __all__ = ["ShardedServingEngine", "merge_sharded_topn"]
+
+
+@dataclass(slots=True)
+class _MergedEntry:
+    """One cached *merged* answer at the fan-out layer.
+
+    Caching below the merge (each shard's private result cache) still
+    pays the fan-out and the k-way merge on every repeat; this entry
+    skips both.  ``keys`` holds the global pair indices when the entry
+    came from an exact :meth:`ShardedServingEngine._query_merged` pass
+    (so it can serve :meth:`~ShardedServingEngine.query` too) and is
+    ``None`` when it came from a deadline-path outcome, which only
+    carries decoded ids.  Entries are immutable once stored.
+    """
+
+    scores: np.ndarray
+    keys: np.ndarray | None
+    event_ids: np.ndarray
+    partner_ids: np.ndarray
 
 
 @dataclass(slots=True)
@@ -164,9 +184,16 @@ class ShardedServingEngine:
     materialises the full matrix; each shard's build touches only its
     own partner slice.
 
-    Parameters mirror :class:`ServingEngine`; ``metrics`` is the
-    *aggregate* registry (each shard additionally keeps a private one,
-    see :meth:`shard_metrics`).  ``tracer`` traces at the fan-out layer:
+    Parameters mirror :class:`ServingEngine` (including the
+    ``ivf_clusters`` / ``ivf_nprobe`` ladder knobs, applied per shard);
+    ``metrics`` is the *aggregate* registry (each shard additionally
+    keeps a private one, see :meth:`shard_metrics`).
+    ``merged_cache_size`` bounds the fan-out layer's **merged-answer
+    cache**: exact answers are remembered keyed on
+    ``(version, user, n)``, so a repeat request skips the fan-out *and*
+    the k-way merge entirely (per-shard caches alone still pay both).
+    Entries can never survive a version bump — the key carries the
+    version and :meth:`refresh` / :meth:`rebuild` clear the map.  ``tracer`` traces at the fan-out layer:
     one root per request with a ``shard`` child per fan-out leg — shard
     engines keep the disabled default, and their rung attempts still
     appear because the fan-out parks each shard child span on the child
@@ -191,6 +218,9 @@ class ShardedServingEngine:
         metrics: MetricsRegistry | None = None,
         stale_cache_size: int = 1024,
         tracer: Tracer | None = None,
+        ivf_clusters: int | None = None,
+        ivf_nprobe: int | None = None,
+        merged_cache_size: int = 256,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -231,9 +261,18 @@ class ShardedServingEngine:
                 metrics=MetricsRegistry(),
                 stale_cache_size=stale_cache_size,
                 ladder=LadderPolicy(),
+                ivf_clusters=ivf_clusters,
+                ivf_nprobe=ivf_nprobe,
             )
             for part in slices
         ]
+        if merged_cache_size < 0:
+            raise ValueError(
+                f"merged_cache_size must be >= 0, got {merged_cache_size}"
+            )
+        self.merged_cache_size = int(merged_cache_size)
+        self._merged_lock = tsan_lock(threading.Lock(), "_merged_lock")
+        self._merged: OrderedDict[tuple, _MergedEntry] = OrderedDict()  # replint: guarded-by(_merged_lock)
         self._built_events: int | None = None  # replint: guarded-by(_build_lock)
         self._built_k: int | None = None  # replint: guarded-by(_build_lock)
         self._build_lock = tsan_lock(threading.RLock(), "_build_lock")
@@ -357,6 +396,7 @@ class ShardedServingEngine:
         with in-flight queries); re-snapshots the index-map constants.
         """
         with self._build_lock:
+            self._clear_merged_cache()
             list(self._pool.map(lambda sh: sh.rebuild(), self._shards))
             self._built_events = int(self.candidate_events.size)
             self._built_k = self._effective_k()
@@ -377,6 +417,7 @@ class ShardedServingEngine:
         zero-downtime folds.
         """
         with self._build_lock:
+            self._clear_merged_cache()
             added = [
                 sh.refresh(new_event_ids, new_event_vectors)
                 for sh in self._shards
@@ -385,6 +426,49 @@ class ShardedServingEngine:
                 raise RuntimeError(f"shards diverged during refresh: {added}")
             self.candidate_events = self._shards[0].candidate_events
             return added[0]
+
+    # ------------------------------------------------------------------
+    # the merged-answer cache
+    def _merged_get(self, user: int, n: int) -> _MergedEntry | None:
+        """Cache lookup for the merged answer of ``(user, n)``.
+
+        Keys include the served version, so an entry can never be
+        returned across a version bump; :meth:`refresh` / :meth:`rebuild`
+        additionally clear the map so dead-version entries do not linger
+        until LRU eviction.  Thread-safe.
+        """
+        if self.merged_cache_size == 0:
+            return None
+        key = (self.version, int(user), int(n))
+        with self._merged_lock:
+            entry = self._merged.get(key)
+            if entry is not None:
+                self._merged.move_to_end(key)
+            return entry
+
+    def _merged_put(self, user: int, n: int, entry: _MergedEntry) -> None:
+        """Store one *exact* merged answer (thread-safe, LRU-bounded).
+
+        A keyed entry (from the exact-merge path) is never downgraded to
+        a keyless one (from the deadline path) — the richer entry serves
+        both surfaces.
+        """
+        if self.merged_cache_size == 0:
+            return
+        key = (self.version, int(user), int(n))
+        with self._merged_lock:
+            prior = self._merged.get(key)
+            if prior is not None and prior.keys is not None and entry.keys is None:
+                return
+            self._merged[key] = entry
+            self._merged.move_to_end(key)
+            # replint: allow-loop(LRU eviction pops at most one stale entry)
+            while len(self._merged) > self.merged_cache_size:
+                self._merged.popitem(last=False)
+
+    def _clear_merged_cache(self) -> None:
+        with self._merged_lock:
+            self._merged.clear()
 
     # ------------------------------------------------------------------
     # the local -> global index map
@@ -463,10 +547,39 @@ class ShardedServingEngine:
 
         The common substrate of :meth:`query` and :meth:`recommend`, so
         both surfaces feed the aggregate registry (per-shard registries
-        are filled by the per-shard queries regardless).
+        are filled by the per-shard queries regardless).  A
+        version-current merged-cache entry answers without fanning out
+        at all (``cache_hit=True`` in the aggregate stats; shard
+        registries see nothing, which is the point).
         """
         self.warm()
         n = int(n)
+        with _Timer() as lookup:
+            cached = self._merged_get(int(user), n)
+        if cached is not None and cached.keys is not None:
+            stats = QueryStats(
+                user=int(user),
+                n=n,
+                backend=f"sharded[{self.n_shards}]:{self.backend_name}",
+                version=self.version,
+                n_candidates=sum(
+                    sh.n_candidate_pairs for sh in self._shards
+                ),
+                n_examined=0,
+                n_sorted_accesses=0,
+                fraction_examined=0.0,
+                seconds_total=lookup.seconds,
+                cache_hit=True,
+                exact=True,
+            )
+            self.metrics.record(stats)
+            return (
+                cached.scores,
+                cached.keys,
+                cached.event_ids,
+                cached.partner_ids,
+                stats,
+            )
         with self.tracer.start(
             "engine.query",
             user=int(user),
@@ -501,6 +614,17 @@ class ShardedServingEngine:
             exact=all(r.exact for r in results),
         )
         self.metrics.record(stats)
+        if stats.exact:
+            self._merged_put(
+                int(user),
+                n,
+                _MergedEntry(
+                    scores=scores,
+                    keys=keys,
+                    event_ids=events,
+                    partner_ids=partners,
+                ),
+            )
         return scores, keys, events, partners, stats
 
     def recommend(self, user: int, n: int = 10) -> list[Recommendation]:
@@ -602,6 +726,50 @@ class ShardedServingEngine:
                 return sh.recommend_within(user, n, ctx=child)
 
         try:
+            cached = self._merged_get(user, n)
+            if cached is not None:
+                # A version-current merged answer is exact and free — no
+                # fan-out, no shard-ladder walk, whatever the budget.
+                stats = QueryStats(
+                    user=user,
+                    n=n,
+                    backend=f"sharded[{self.n_shards}]:{self.backend_name}",
+                    version=self.version,
+                    n_candidates=sum(
+                        sh.n_candidate_pairs for sh in self._shards
+                    ),
+                    n_examined=0,
+                    n_sorted_accesses=0,
+                    fraction_examined=0.0,
+                    seconds_total=parent.elapsed(),
+                    cache_hit=True,
+                    rung="full",
+                    deadline_budget_s=parent.budget_s,
+                    deadline_remaining_s=parent.remaining(),
+                    deadline_met=not parent.expired(),
+                    queue_wait_s=parent.queue_wait_s,
+                    exact=True,
+                )
+                self.metrics.record(stats)
+                outcome = RequestOutcome(
+                    user=user,
+                    n=n,
+                    answered=True,
+                    recommendations=[
+                        Recommendation(
+                            event=int(e), partner=int(p), score=float(s)
+                        )
+                        for e, p, s in zip(
+                            cached.event_ids,
+                            cached.partner_ids,
+                            cached.scores,
+                            strict=True,
+                        )
+                    ],
+                    stats=stats,
+                )
+                stamp_outcome(root, outcome)
+                return outcome
             outcomes = self._fan_out_indexed(serve_shard)
             shed = [o for o in outcomes if not o.answered]
             if shed:
@@ -641,6 +809,23 @@ class ShardedServingEngine:
                 stale=any(s.stale for s in stats_list),
             )
             self.metrics.record(stats)
+            if stats.exact:
+                self._merged_put(
+                    user,
+                    n,
+                    _MergedEntry(
+                        scores=np.array(
+                            [r.score for r in merged], dtype=np.float64
+                        ),
+                        keys=None,
+                        event_ids=np.array(
+                            [r.event for r in merged], dtype=np.int64
+                        ),
+                        partner_ids=np.array(
+                            [r.partner for r in merged], dtype=np.int64
+                        ),
+                    ),
+                )
             outcome = RequestOutcome(
                 user=user,
                 n=n,

@@ -41,8 +41,10 @@ class QueryStats:
     ``recommend_many``):
 
     * ``rung`` — which degradation rung answered (``"full"``,
-      ``"pruned"``, ``"truncated"`` or ``"stale_cache"``; plain
-      un-deadlined queries always record ``"full"``).
+      ``"pruned"``, ``"ivf"``, ``"truncated"`` or ``"stale_cache"``;
+      plain un-deadlined queries always record ``"full"``).
+    * ``n_clusters_probed`` — IVF coarse cells scanned for the answer
+      (0 for every non-IVF retrieval path).
     * ``deadline_budget_s`` — the per-request budget (0.0 = no deadline).
     * ``deadline_remaining_s`` — budget left when the answer was ready
       (negative = the deadline was missed).
@@ -70,6 +72,7 @@ class QueryStats:
     cache_hit: bool = False
     batched: bool = False
     rung: str = "full"
+    n_clusters_probed: int = 0
     deadline_budget_s: float = 0.0
     deadline_remaining_s: float = 0.0
     deadline_met: bool = True
@@ -236,17 +239,24 @@ class MetricsRegistry:
             f"p{q:g}": _nearest_rank(values, float(q)) for q in qs
         }
 
-    def rung_summary(self, **criteria: object) -> dict[str, dict]:
+    def rung_summary(
+        self, include: tuple[str, ...] = (), **criteria: object
+    ) -> dict[str, dict]:
         """Per-rung request counts and latency percentiles.
 
         ``{rung: {"count": int, "p50": s, "p95": s, "p99": s}}`` over the
         matching records — the degradation-ladder view an operator reads
-        first (see docs/OPERATIONS.md).
+        first (see docs/OPERATIONS.md).  ``include`` lists rungs that
+        must appear even with zero matching records (pass
+        :data:`repro.serving.lifecycle.RUNGS` for the full declared
+        ladder), so a rung that *never* answered — e.g. a cold ``ivf``
+        sibling — shows up as an explicit zero row instead of being
+        silently absent from the report.
         """
         records = self.select(**criteria)
-        rungs = sorted({r.rung for r in records})
+        rungs = sorted({r.rung for r in records} | set(include))
         out: dict[str, dict] = {}
-        # replint: allow-loop(aggregation over <= 4 rung labels, not queries)
+        # replint: allow-loop(aggregation over <= 5 rung labels, not queries)
         for rung in rungs:
             values = sorted(
                 r.seconds_total for r in records if r.rung == rung

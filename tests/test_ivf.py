@@ -1,0 +1,319 @@
+"""IVF backend: the three properties the serving stack relies on.
+
+:mod:`repro.online.ivf` is the first *approximate* retrieval path in the
+codebase, so its correctness story is different from TA's: instead of
+"always exact", it commits to (1) bit-identity with the brute-force
+oracle at full probe, (2) recall monotone non-decreasing in ``nprobe``,
+and (3) ``extend()`` reproducing a fresh ``build()`` whenever the
+k-means training prefix is unchanged.  The Hypothesis properties here
+attack each claim in the regime where a sloppy implementation diverges:
+heavily quantised scores (many exact ties, including at the top-n
+boundary), tiny and skewed cluster counts, partner exclusion, and
+multi-step fold-ins.  The engine/ladder tests then pin the integration
+behaviour ISSUE 10 adds: the ``ivf`` rung, its telemetry, and the
+sibling surviving ``refresh`` but not ``rebuild``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.online.bruteforce import BruteForceIndex
+from repro.online.ivf import (
+    IVFIndex,
+    default_n_clusters,
+    default_nprobe,
+)
+from repro.online.transform import transform_all_pairs
+from repro.serving import ServingEngine
+from repro.serving.backends import create_backend
+
+
+def _pair_space(seed: int, n_events: int, n_partners: int, dim: int,
+                tie_heavy: bool = False):
+    """A transformed pair space over random non-negative embeddings."""
+    rng = np.random.default_rng(seed)
+    if tie_heavy:
+        # Few distinct levels -> inner products collide constantly,
+        # including across cluster boundaries at the top-n cut.
+        events = rng.integers(0, 3, size=(n_events, dim)).astype(np.float64) * 0.5
+        partners = rng.integers(0, 3, size=(n_partners, dim)).astype(np.float64) * 0.5
+    else:
+        events = np.abs(rng.normal(size=(n_events, dim)))
+        partners = np.abs(rng.normal(size=(n_partners, dim)))
+    space = transform_all_pairs(
+        events,
+        partners,
+        event_ids=np.arange(n_events, dtype=np.int64),
+        partner_ids=np.arange(n_partners, dtype=np.int64),
+    )
+    query = rng.integers(0, 3, size=dim).astype(np.float64) * 0.5
+    q = np.concatenate([query, query, [1.0]])
+    return space, q
+
+
+class TestFullProbeEqualsBruteForce:
+    """Property 1: ``nprobe == n_clusters`` is bit-identical to GEM-BF."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_clusters=st.integers(min_value=1, max_value=9),
+        n=st.integers(min_value=1, max_value=20),
+        tie_heavy=st.booleans(),
+        exclude=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_full_probe_bit_identical(
+        self, seed, n_clusters, n, tie_heavy, exclude
+    ):
+        space, q = _pair_space(seed, n_events=7, n_partners=11, dim=4,
+                               tie_heavy=tie_heavy)
+        oracle = BruteForceIndex(space)
+        ivf = IVFIndex(space, n_clusters=n_clusters, seed=seed % 7)
+        who = 3 if exclude else None
+        ref = oracle.query_extended(q, n, exclude_partner=who)
+        got = ivf.query_extended(
+            q, n, exclude_partner=who, nprobe=ivf.n_clusters
+        )
+        np.testing.assert_array_equal(ref.pair_indices, got.pair_indices)
+        np.testing.assert_array_equal(ref.scores, got.scores)
+        assert got.exact
+        assert got.n_clusters_probed == ivf.n_clusters
+
+    def test_partial_probe_is_marked_inexact(self):
+        space, q = _pair_space(0, n_events=8, n_partners=10, dim=4)
+        ivf = IVFIndex(space, n_clusters=8, nprobe=2)
+        result = ivf.query_extended(q, 5)
+        assert not result.exact
+        assert result.n_clusters_probed == 2
+        assert 0 < result.n_examined < space.n_pairs
+
+
+class TestRecallMonotoneInNprobe:
+    """Property 2: recall@n never decreases as the probe widens."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_clusters=st.integers(min_value=2, max_value=12),
+        n=st.integers(min_value=1, max_value=15),
+        tie_heavy=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_recall_monotone(self, seed, n_clusters, n, tie_heavy):
+        space, q = _pair_space(seed, n_events=9, n_partners=9, dim=4,
+                               tie_heavy=tie_heavy)
+        oracle = BruteForceIndex(space)
+        ivf = IVFIndex(space, n_clusters=n_clusters, seed=1)
+        truth = set(oracle.query_extended(q, n).pair_indices.tolist())
+        prev = -1.0
+        for p in range(1, ivf.n_clusters + 1):
+            got = ivf.query_extended(q, n, nprobe=p)
+            recall = len(truth & set(got.pair_indices.tolist())) / len(truth)
+            assert recall >= prev, f"recall dropped at nprobe={p}"
+            prev = recall
+        assert prev == 1.0  # full probe is exact
+
+
+class TestExtendEqualsBuild:
+    """Property 3: fold-in splice == fresh build over the same rows."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_clusters=st.integers(min_value=1, max_value=8),
+        n_steps=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_extend_equals_fresh_build(
+        self, seed, n_clusters, n_steps
+    ):
+        rng = np.random.default_rng(seed)
+        n_partners, dim = 7, 4
+        partners = np.abs(rng.normal(size=(n_partners, dim)))
+        base_events = np.abs(rng.normal(size=(6, dim)))
+
+        def build_space(events):
+            return transform_all_pairs(
+                events,
+                partners,
+                event_ids=np.arange(events.shape[0], dtype=np.int64),
+                partner_ids=np.arange(n_partners, dtype=np.int64),
+            )
+
+        # Cap training below the base size: the equivalence holds exactly
+        # when the fresh build's training prefix is unchanged by the
+        # appended rows (min(n_total, train_cap) <= n_old — the streaming
+        # steady state, where the space has long outgrown the cap).
+        cap = 32  # base space is 6 * 7 = 42 pairs
+        events = base_events
+        ivf = IVFIndex(
+            build_space(events), n_clusters=n_clusters, train_cap=cap, seed=2
+        )
+        for _ in range(n_steps):
+            fresh_block = np.abs(rng.normal(size=(rng.integers(1, 4), dim)))
+            events = np.vstack([events, fresh_block])
+            grown = build_space(events)
+            n_old = ivf.space.n_pairs
+            ivf.extend(grown, n_old)
+        rebuilt = IVFIndex(
+            build_space(events), n_clusters=n_clusters, train_cap=cap, seed=2
+        )
+        np.testing.assert_array_equal(ivf.centroids, rebuilt.centroids)
+        np.testing.assert_array_equal(ivf._order, rebuilt._order)
+        np.testing.assert_array_equal(ivf._offsets, rebuilt._offsets)
+        np.testing.assert_array_equal(
+            ivf._block_points, rebuilt._block_points
+        )
+        np.testing.assert_array_equal(
+            ivf._block_partners, rebuilt._block_partners
+        )
+
+    def test_extend_rejects_wrong_n_old(self):
+        space, _q = _pair_space(3, n_events=5, n_partners=5, dim=4)
+        ivf = IVFIndex(space, n_clusters=3)
+        with pytest.raises(ValueError, match="n_old"):
+            ivf.extend(space, space.n_pairs - 1)
+
+
+class TestKnobsAndDefaults:
+    def test_default_n_clusters_is_sqrt_clamped(self):
+        assert default_n_clusters(0) == 1
+        assert default_n_clusters(100) == 10
+        assert default_n_clusters(10**9) == 4096
+
+    def test_default_nprobe_fraction(self):
+        assert default_nprobe(1) == 1
+        assert default_nprobe(8) == 2
+        assert default_nprobe(1024) == 256
+
+    def test_n_clusters_clamped_to_n_pairs(self):
+        space, _q = _pair_space(4, n_events=2, n_partners=2, dim=3)
+        ivf = IVFIndex(space, n_clusters=1000)
+        assert ivf.n_clusters == space.n_pairs
+        assert int(ivf.cluster_sizes().sum()) == space.n_pairs
+
+    def test_invalid_nprobe_rejected(self):
+        space, q = _pair_space(5, n_events=4, n_partners=4, dim=3)
+        ivf = IVFIndex(space, n_clusters=4)
+        with pytest.raises(ValueError, match="nprobe"):
+            ivf.query_extended(q, 3, nprobe=0)
+        with pytest.raises(ValueError, match="nprobe"):
+            ivf.query_extended(q, 3, nprobe=5)
+
+    def test_registered_backend_roundtrip(self):
+        backend = create_backend("ivf")
+        space, q = _pair_space(6, n_events=5, n_partners=6, dim=4)
+        backend.build(space)
+        result = backend.query(q, 4, exclude=1)
+        assert result.pair_indices.size <= 4
+        assert backend.n_candidates == space.n_pairs
+        assert backend.memory_bytes() > 0
+
+
+class TestEngineIvfRung:
+    """Integration: the ``ivf`` rung on the degradation ladder."""
+
+    def _engine(self, **kwargs):
+        rng = np.random.default_rng(7)
+        users = np.abs(rng.normal(size=(30, 6)))
+        events = np.abs(rng.normal(size=(40, 6)))
+        return ServingEngine(
+            users,
+            events,
+            np.arange(20, dtype=np.int64),
+            backend="bruteforce",
+            **kwargs,
+        )
+
+    def test_rung_absent_without_opt_in(self):
+        engine = self._engine().warm_ladder()
+        assert "ivf" not in engine._available_rungs()
+
+    def test_rung_present_after_warm_ladder(self):
+        engine = self._engine(ivf_clusters=6, ivf_nprobe=2).warm_ladder()
+        assert engine._available_rungs() == (
+            "full", "pruned", "ivf", "truncated", "stale_cache"
+        )
+
+    def test_ivf_rung_serves_and_records_telemetry(self):
+        engine = self._engine(ivf_clusters=6, ivf_nprobe=2).warm_ladder()
+        # Make the rungs above ivf look too slow for the budget.
+        engine.ladder.observe("full", 10.0)
+        engine.ladder.observe("pruned", 10.0)
+        out = engine.recommend_within(3, 5, budget_s=0.5)
+        assert out.answered and out.rung == "ivf"
+        assert out.stats is not None
+        assert out.stats.n_clusters_probed == 2
+        assert not out.stats.exact
+        assert 0 < out.stats.n_examined < engine.n_candidate_pairs
+
+    def test_refresh_keeps_and_extends_ivf_sibling(self):
+        engine = self._engine(ivf_clusters=6).warm_ladder()
+        sibling = engine._ivf_index
+        assert sibling is not None
+        engine.refresh(np.arange(20, 24, dtype=np.int64))
+        assert engine._ivf_index is sibling
+        assert sibling.space.n_pairs == engine.n_candidate_pairs
+        assert "ivf" in engine._available_rungs()
+
+    def test_rebuild_drops_ivf_sibling_until_rewarm(self):
+        engine = self._engine(ivf_clusters=6).warm_ladder()
+        engine.rebuild()
+        assert engine._ivf_index is None
+        assert "ivf" not in engine._available_rungs()
+        engine.warm_ladder()
+        assert engine._ivf_index is not None
+
+    def test_ivf_validation(self):
+        with pytest.raises(ValueError, match="ivf_clusters"):
+            self._engine(ivf_clusters=0)
+        with pytest.raises(ValueError, match="ivf_nprobe"):
+            self._engine(ivf_nprobe=2)
+
+
+class TestAppendBuffers:
+    """Satellite: refresh appends into growable buffers, no full copy."""
+
+    def _engine(self):
+        rng = np.random.default_rng(9)
+        users = np.abs(rng.normal(size=(25, 5)))
+        events = np.abs(rng.normal(size=(60, 5)))
+        return ServingEngine(
+            users,
+            events,
+            np.arange(10, dtype=np.int64),
+            backend="bruteforce",
+        ).warm()
+
+    def test_second_refresh_reuses_buffer(self):
+        engine = self._engine()
+        engine.refresh(np.arange(10, 13, dtype=np.int64))
+        buf = engine._buf_points
+        assert buf is not None
+        assert engine.space.points.base is buf
+        engine.refresh(np.arange(13, 15, dtype=np.int64))
+        assert engine._buf_points is buf  # appended in place, no realloc
+        assert engine.space.n_pairs == 15 * 25
+
+    def test_refreshed_engine_matches_fresh_build(self):
+        engine = self._engine()
+        engine.refresh(np.arange(10, 40, dtype=np.int64))
+        engine.refresh(np.arange(40, 60, dtype=np.int64))
+        fresh = ServingEngine(
+            engine.user_vectors,
+            engine.event_vectors,
+            np.arange(60, dtype=np.int64),
+            backend="bruteforce",
+        ).warm()
+        for user in range(0, 25, 5):
+            a = engine.query(user, 8)
+            b = fresh.query(user, 8)
+            np.testing.assert_array_equal(a.pair_indices, b.pair_indices)
+            np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_rebuild_releases_buffers(self):
+        engine = self._engine()
+        engine.refresh(np.arange(10, 12, dtype=np.int64))
+        assert engine._buf_points is not None
+        engine.rebuild()
+        assert engine._buf_points is None

@@ -32,6 +32,7 @@ from repro.obs import (
     default_interesting,
     engine_families,
     flight_families,
+    ivf_families,
     parse_exposition,
     registry_families,
     render_exposition,
@@ -482,6 +483,28 @@ class TestCollectors:
             )
             assert scrape.series("repro_shard_index_bytes") == 2
             assert scrape.value("repro_index_age_seconds") >= 0.0
+
+    def test_ivf_families_export_cluster_geometry(self, model):
+        engine = make_engine(model, ivf_clusters=6, ivf_nprobe=2)
+        engine.warm_ladder()
+        scrape = parse_exposition(
+            render_exposition(ivf_families(engine._ivf_index))
+        )
+        assert scrape.value("repro_ivf_clusters") == 6.0
+        assert scrape.value("repro_ivf_nprobe_default") == 2.0
+        assert scrape.value("repro_ivf_pairs_indexed") == float(
+            engine.space.n_pairs
+        )
+        assert scrape.value("repro_ivf_index_bytes") > 0.0
+        # max >= mean and the imbalance ratio reflects both.
+        vmax = scrape.value("repro_ivf_cluster_size", stat="max")
+        mean = scrape.value("repro_ivf_cluster_size", stat="mean")
+        ratio = scrape.value("repro_ivf_cluster_size", stat="imbalance")
+        assert vmax >= mean > 0.0
+        assert ratio == pytest.approx(vmax / mean)
+        assert 1 <= scrape.value(
+            "repro_ivf_cluster_size", stat="nonempty"
+        ) <= 6
 
     def test_tracer_and_flight_families(self):
         recorder = FlightRecorder(capacity=4, predicate=lambda root: True)

@@ -163,17 +163,22 @@ class TestTrainerProfiling:
 
 
 class TestServingBuildProfiling:
-    def _engine(self, profiler: Profiler | None) -> ServingEngine:
+    def _engine(
+        self, profiler: Profiler | None, **kwargs: object
+    ) -> ServingEngine:
         rng = np.random.default_rng(4)
         return ServingEngine(
             np.abs(rng.normal(size=(40, 8))),
             np.abs(rng.normal(size=(25, 8))),
             np.arange(25, dtype=np.int64),
             profiler=profiler,
+            **kwargs,
         )
 
     def test_build_phases_recorded(self):
-        engine = self._engine(Profiler(enabled=True))
+        # ivf_clusters opts into the ivf sibling so every declared build
+        # phase fires (the rung is off by default).
+        engine = self._engine(Profiler(enabled=True), ivf_clusters=4)
         engine.warm_ladder()
         phases = engine.build_profile()["phases"]
         assert set(phases) == set(BUILD_PHASES)

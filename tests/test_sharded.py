@@ -210,3 +210,69 @@ class TestShardedLifecycle:
         fleet.close()
         with pytest.raises(RuntimeError):
             fleet.query(0, 3)
+
+
+class TestMergedAnswerCache:
+    """The fan-out layer's merged-answer cache (keyed version, user, n)."""
+
+    def _fleet(self, **kwargs):
+        # 12 embedded events but only 10 candidates: ids 10-11 stay free
+        # for the refresh-invalidation test.
+        users, events = _tie_heavy_vectors(8, n_users=18, n_events=12, dim=4)
+        return ShardedServingEngine(
+            users,
+            events,
+            np.arange(10, dtype=np.int64),
+            n_shards=3,
+            cache_size=0,  # isolate the merged layer from shard caches
+            **kwargs,
+        )
+
+    def test_repeat_query_hits_without_fanning_out(self):
+        with self._fleet() as fleet:
+            first = fleet.query(4, 6)
+            shard_counts = [len(m.records) for m in fleet.shard_metrics()]
+            second = fleet.query(4, 6)
+            np.testing.assert_array_equal(first.pair_indices, second.pair_indices)
+            np.testing.assert_array_equal(first.scores, second.scores)
+            # No shard saw the repeat: the hit answered above the fan-out.
+            assert [len(m.records) for m in fleet.shard_metrics()] == shard_counts
+            agg = fleet.metrics.records
+            assert not agg[0].cache_hit and agg[1].cache_hit
+            assert agg[1].n_examined == 0 and agg[1].exact
+
+    def test_deadline_path_reuses_exact_merged_answer(self):
+        with self._fleet() as fleet:
+            fleet.warm_ladder()
+            ref = fleet.recommend(5, 6)
+            out = fleet.recommend_within(5, 6, budget_s=5.0)
+            assert out.answered and out.stats is not None
+            assert out.stats.cache_hit and out.stats.rung == "full"
+            assert [(r.event, r.partner, r.score) for r in out.recommendations] == [
+                (r.event, r.partner, r.score) for r in ref
+            ]
+
+    def test_version_bump_invalidates(self):
+        with self._fleet() as fleet:
+            fleet.query(2, 5)
+            fleet.refresh(np.array([10, 11], dtype=np.int64))
+            fleet.query(2, 5)
+            last = fleet.metrics.records[-1]
+            assert not last.cache_hit
+            assert last.version == fleet.version
+
+    def test_zero_size_disables_cache(self):
+        with self._fleet(merged_cache_size=0) as fleet:
+            fleet.query(1, 4)
+            fleet.query(1, 4)
+            assert not any(r.cache_hit for r in fleet.metrics.records)
+
+    def test_cached_answer_stays_bit_identical_to_single(self):
+        users, events = _tie_heavy_vectors(9, n_users=15, n_events=8, dim=4)
+        cand = np.arange(8, dtype=np.int64)
+        single = ServingEngine(users, events, cand, cache_size=0).warm()
+        with ShardedServingEngine(
+            users, events, cand, n_shards=2, cache_size=0
+        ) as fleet:
+            for _ in range(2):  # second pass served from the merged cache
+                _assert_bit_identical(single, fleet, [0, 3, 7], 6)

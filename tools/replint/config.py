@@ -94,6 +94,7 @@ class LintConfig:
     declared_rungs: tuple[str, ...] = (
         "full",
         "pruned",
+        "ivf",
         "truncated",
         "stale_cache",
     )

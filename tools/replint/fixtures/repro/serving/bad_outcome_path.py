@@ -3,9 +3,9 @@
 Meant to be *wrong*: four outcome-exhaustiveness violations — an
 answered outcome with no stats, a shed reason outside the declared set,
 an exit path that falls off the end, and a rung label outside the
-declared ladder — plus one deliberately clean delegation path.  The
-self-test in ``tests/test_replint.py`` pins exactly four REP010
-findings here.
+declared ladder — plus deliberately clean paths (a delegation and an
+``ivf``-rung label from the declared ladder).  The self-test in
+``tests/test_replint.py`` pins exactly four REP010 findings here.
 """
 
 from repro.serving.lifecycle import RequestOutcome
@@ -45,6 +45,22 @@ class DropProne:
             fraction_examined=0.0,
             seconds_total=0.0,
             rung="turbo",  # REP010: not a declared rung
+        )
+
+    def label_ivf_rung(self, user: int) -> QueryStats:
+        """Clean: ``ivf`` sits on the declared ladder between pruned and
+        truncated, so labelling it must NOT trip REP010."""
+        return QueryStats(
+            user=user,
+            n=1,
+            backend="ivf",
+            version=1,
+            n_candidates=0,
+            n_examined=0,
+            n_sorted_accesses=0,
+            fraction_examined=0.0,
+            seconds_total=0.0,
+            rung="ivf",
         )
 
     def delegate(self, user: int) -> RequestOutcome:
